@@ -1,0 +1,275 @@
+package postcard_test
+
+// Benchmark harness regenerating every figure of the paper's evaluation
+// (Sec. VII) plus ablations over the design choices documented in
+// DESIGN.md. Each BenchmarkFigN runs the corresponding evaluation setting
+// (capacity/deadline regime) end to end — workload generation, online
+// per-slot optimization for both Postcard and the flow-based baseline, and
+// charging — at a benchmark-sized scale, and reports the measured average
+// cost per interval for both schedulers as custom metrics. The full-scale
+// reproduction is `go run ./cmd/postcard-figs` (optionally -scale paper).
+
+import (
+	"testing"
+
+	"github.com/interdc/postcard"
+)
+
+// benchScale is small enough for testing.B iteration but preserves the
+// relative regimes of the paper's four settings.
+func benchScale() postcard.Scale {
+	return postcard.Scale{
+		Name: "bench", DCs: 6, Slots: 6, Runs: 1,
+		FilesMin: 2, FilesMax: 5, SizeMinGB: 10, SizeMaxGB: 100, Seed: 2012,
+	}
+}
+
+// benchFigure runs one evaluation figure per b.N iteration and reports the
+// two schedulers' average cost per interval.
+func benchFigure(b *testing.B, figure int) {
+	b.Helper()
+	setting, err := postcard.SettingByFigure(figure)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last *postcard.FigureResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := postcard.RunFigure(postcard.FigureConfig{
+			Setting: setting,
+			Scale:   benchScale(),
+			Schedulers: []postcard.Scheduler{
+				&postcard.PostcardScheduler{},
+				&postcard.FlowScheduler{Variant: postcard.FlowLP},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	for _, s := range last.Schedulers {
+		b.ReportMetric(s.Final.Mean, s.Name+"-cost/slot")
+	}
+}
+
+// BenchmarkFig4 regenerates Fig. 4: ample capacity (100 GB/slot), urgent
+// files (T = 3). The paper's result: flow-based beats Postcard.
+func BenchmarkFig4(b *testing.B) { benchFigure(b, 4) }
+
+// BenchmarkFig5 regenerates Fig. 5: ample capacity, delay-tolerant files
+// (T = 8). Both schedulers get cheaper than Fig. 4.
+func BenchmarkFig5(b *testing.B) { benchFigure(b, 5) }
+
+// BenchmarkFig6 regenerates Fig. 6: limited capacity (30 GB/slot), urgent
+// files. The paper's result: Postcard beats flow-based.
+func BenchmarkFig6(b *testing.B) { benchFigure(b, 6) }
+
+// BenchmarkFig7 regenerates Fig. 7: limited capacity, delay-tolerant
+// files. The paper's result: Postcard wins clearly.
+func BenchmarkFig7(b *testing.B) { benchFigure(b, 7) }
+
+// BenchmarkFig1Example benchmarks the motivating single-file optimization
+// of Fig. 1 (3 datacenters, one file, optimal cost 12).
+func BenchmarkFig1Example(b *testing.B) {
+	nw, file, err := postcard.Fig1Topology()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ledger, err := postcard.NewLedger(nw, postcard.MaxCharging(100))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := postcard.Solve(ledger, []postcard.File{file}, 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != postcard.StatusOptimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+}
+
+// BenchmarkFig3Example benchmarks the worked example of Sec. V (4
+// datacenters, two files, optimal cost 32.67).
+func BenchmarkFig3Example(b *testing.B) {
+	nw, files, err := postcard.Fig3Topology(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ledger, err := postcard.NewLedger(nw, postcard.MaxCharging(100))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := postcard.Solve(ledger, files, 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != postcard.StatusOptimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+}
+
+// benchInstance builds one representative per-slot problem: 8 DCs, six
+// files with mixed deadlines on a half-loaded ledger.
+func benchInstance(b *testing.B, capacity float64) (*postcard.Ledger, []postcard.File) {
+	b.Helper()
+	nw, err := postcard.Complete(8, postcard.UniformPrices(5), capacity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ledger, err := postcard.NewLedger(nw, postcard.MaxCharging(50))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-commit history so charged floors and residuals are nontrivial.
+	for i := 0; i < 8; i++ {
+		from := postcard.DC(i)
+		to := postcard.DC((i + 1) % 8)
+		if err := ledger.Add(from, to, i%3, capacity/3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	files := []postcard.File{
+		{ID: 1, Src: 0, Dst: 5, Size: 80, Deadline: 4, Release: 3},
+		{ID: 2, Src: 1, Dst: 6, Size: 40, Deadline: 2, Release: 3},
+		{ID: 3, Src: 2, Dst: 7, Size: 95, Deadline: 6, Release: 3},
+		{ID: 4, Src: 3, Dst: 0, Size: 25, Deadline: 3, Release: 3},
+		{ID: 5, Src: 4, Dst: 1, Size: 60, Deadline: 5, Release: 3},
+		{ID: 6, Src: 5, Dst: 2, Size: 30, Deadline: 2, Release: 3},
+	}
+	return ledger, files
+}
+
+// BenchmarkPostcardSolve benchmarks one per-slot Postcard LP (the unit of
+// work the online simulator performs at every slot).
+func BenchmarkPostcardSolve(b *testing.B) {
+	ledger, files := benchInstance(b, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := postcard.Solve(ledger, files, 3, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != postcard.StatusOptimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+}
+
+// BenchmarkFlowSolve benchmarks the flow-based single-LP baseline on the
+// identical instance, for a like-for-like solver cost comparison.
+func BenchmarkFlowSolve(b *testing.B) {
+	ledger, files := benchInstance(b, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := postcard.FlowSolve(ledger, files, 3, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != postcard.StatusOptimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+}
+
+// BenchmarkFlowTwoPhase benchmarks the paper-literal two-phase
+// decomposition (ablation: decomposition versus the single LP).
+func BenchmarkFlowTwoPhase(b *testing.B) {
+	ledger, files := benchInstance(b, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := postcard.FlowTwoPhaseSolve(ledger, files, 3, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != postcard.StatusOptimal {
+			b.Fatalf("status %v", res.Status)
+		}
+	}
+}
+
+// BenchmarkFlowGreedy benchmarks the combinatorial cheapest-available-path
+// heuristic (ablation: heuristic versus LP optimum).
+func BenchmarkFlowGreedy(b *testing.B) {
+	ledger, files := benchInstance(b, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := postcard.FlowGreedySolve(ledger, files, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationStorage quantifies the value of intermediate
+// store-and-forward: the same instance solved with storage everywhere,
+// storage at endpoints only, and no storage at all. Costs are reported as
+// metrics; the full-storage cost is never higher.
+func BenchmarkAblationStorage(b *testing.B) {
+	cases := []struct {
+		name   string
+		policy postcard.StoragePolicy
+	}{
+		{"everywhere", postcard.StorageEverywhere},
+		{"endpoints", postcard.StorageEndpointsOnly},
+		{"none", postcard.StorageNone},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			ledger, files := benchInstance(b, 40)
+			cfg := &postcard.Config{Storage: tc.policy}
+			cost := 0.0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := postcard.Solve(ledger, files, 3, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Status != postcard.StatusOptimal {
+					b.Fatalf("status %v", res.Status)
+				}
+				cost = res.CostPerSlot
+			}
+			b.StopTimer()
+			b.ReportMetric(cost, "cost/slot")
+		})
+	}
+}
+
+// BenchmarkMaxBulk benchmarks the Sec. VI bulk-maximization LP.
+func BenchmarkMaxBulk(b *testing.B) {
+	ledger, files := benchInstance(b, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := postcard.MaxBulk(ledger, files, 3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaxUnderBudget benchmarks the Sec. VI budget-constrained LP.
+func BenchmarkMaxUnderBudget(b *testing.B) {
+	ledger, files := benchInstance(b, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := postcard.MaxUnderBudget(ledger, files, 3, 500, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

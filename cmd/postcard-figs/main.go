@@ -1,0 +1,131 @@
+// Command postcard-figs regenerates the paper's evaluation figures
+// (Sec. VII, Figs. 4-7): average cost per time interval with 95% confidence
+// intervals, Postcard versus the flow-based approach, under four
+// capacity/deadline settings.
+//
+// Usage:
+//
+//	postcard-figs                  # all four figures at CI scale
+//	postcard-figs -fig 6           # just Fig. 6
+//	postcard-figs -scale paper     # the paper's full 20-DC, 100-slot, 10-run scale
+//	postcard-figs -schedulers postcard,flow-based,flow-greedy,direct
+//	postcard-figs -csv out/        # also write per-slot cost series as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/interdc/postcard"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "postcard-figs:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fig := flag.Int("fig", 0, "figure to regenerate (4-7), 0 = all")
+	scaleName := flag.String("scale", "ci", "experiment scale: ci | paper")
+	schedList := flag.String("schedulers", "postcard,flow-based", "comma-separated scheduler list: postcard, flow-based, flow-two-phase, flow-greedy, direct, postcard-nostore")
+	csvDir := flag.String("csv", "", "directory to write per-slot cost series CSVs into")
+	uniformDeadline := flag.Bool("uniform-deadline", false, "draw deadlines from U[1, maxT] instead of fixing them at maxT")
+	runs := flag.Int("runs", 0, "override number of runs")
+	slots := flag.Int("slots", 0, "override number of slots")
+	dcs := flag.Int("dcs", 0, "override number of datacenters")
+	filesMax := flag.Int("files-max", 0, "override maximum files per slot")
+	quiet := flag.Bool("q", false, "suppress per-run progress")
+	flag.Parse()
+
+	var scale postcard.Scale
+	switch *scaleName {
+	case "ci":
+		scale = postcard.CIScale()
+	case "paper":
+		scale = postcard.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	if *runs > 0 {
+		scale.Runs = *runs
+	}
+	if *slots > 0 {
+		scale.Slots = *slots
+	}
+	if *dcs > 0 {
+		scale.DCs = *dcs
+	}
+	if *filesMax > 0 {
+		scale.FilesMax = *filesMax
+	}
+
+	schedulers, err := parseSchedulers(*schedList)
+	if err != nil {
+		return err
+	}
+
+	var settings []postcard.EvalSetting
+	if *fig == 0 {
+		settings = postcard.EvalSettings()
+	} else {
+		s, err := postcard.SettingByFigure(*fig)
+		if err != nil {
+			return err
+		}
+		settings = []postcard.EvalSetting{s}
+	}
+
+	for _, setting := range settings {
+		cfg := postcard.FigureConfig{
+			Setting:          setting,
+			Scale:            scale,
+			Schedulers:       schedulers,
+			UniformDeadlines: *uniformDeadline,
+		}
+		if !*quiet {
+			cfg.Progress = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+			}
+		}
+		res, err := postcard.RunFigure(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, fmt.Sprintf("fig%d-%s.csv", setting.Figure, scale.Name))
+			if err := os.WriteFile(path, []byte(res.SeriesCSV()), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("series written to %s\n\n", path)
+		}
+	}
+	return nil
+}
+
+func parseSchedulers(list string) ([]postcard.Scheduler, error) {
+	var out []postcard.Scheduler
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s, err := postcard.SchedulerByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no schedulers given")
+	}
+	return out, nil
+}

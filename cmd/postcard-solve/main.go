@@ -1,0 +1,171 @@
+// Command postcard-solve solves a single offline Postcard instance: it
+// reads a JSON description of an inter-datacenter network and a set of
+// files, runs the selected scheduler, and prints the resulting plan and
+// cost per charging interval.
+//
+// Usage:
+//
+//	postcard-solve -input instance.json [-scheduler postcard] [-dot graph.dot]
+//
+// The instance format:
+//
+//	{
+//	  "datacenters": 4,
+//	  "links":  [{"from": 0, "to": 3, "price": 6, "capacity": 5}, ...],
+//	  "files":  [{"id": 1, "src": 1, "dst": 3, "size": 8, "deadline": 4, "release": 3}, ...]
+//	}
+//
+// With no -input, a built-in instance (the paper's Fig. 3 worked example)
+// is solved.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/interdc/postcard"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "postcard-solve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	input := flag.String("input", "", "instance JSON file ('-' for stdin; empty = built-in Fig. 3 example)")
+	scheduler := flag.String("scheduler", "postcard", "postcard | flow | flow-two-phase | flow-greedy | direct")
+	dotOut := flag.String("dot", "", "write the time-expanded graph in DOT format to this file")
+	jsonOut := flag.Bool("json", false, "emit the plan as JSON instead of text")
+	flag.Parse()
+
+	nw, files, err := loadInstance(*input)
+	if err != nil {
+		return err
+	}
+	slot := 0
+	if len(files) > 0 {
+		slot = files[0].Release
+		for _, f := range files {
+			if f.Release < slot {
+				slot = f.Release
+			}
+		}
+	}
+	ledger, err := postcard.NewLedger(nw, postcard.MaxCharging(100))
+	if err != nil {
+		return err
+	}
+
+	if *dotOut != "" {
+		horizon := 1
+		for _, f := range files {
+			if h := f.Release + f.Deadline - slot; h > horizon {
+				horizon = h
+			}
+		}
+		dot, err := postcard.TimeExpandedDOT(nw, slot, horizon)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*dotOut, []byte(dot), 0o644); err != nil {
+			return fmt.Errorf("writing DOT: %w", err)
+		}
+		fmt.Printf("time-expanded graph written to %s\n", *dotOut)
+	}
+
+	plan, cost, status, err := solve(*scheduler, ledger, files, slot)
+	if err != nil {
+		return err
+	}
+	if status != postcard.StatusOptimal {
+		return fmt.Errorf("no plan: solver status %v", status)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Scheduler   string            `json:"scheduler"`
+			CostPerSlot float64           `json:"cost_per_slot"`
+			Actions     []postcard.Action `json:"actions"`
+		}{*scheduler, cost, plan.Actions()})
+	}
+	fmt.Printf("scheduler: %s\n", *scheduler)
+	fmt.Printf("files: %d, actions: %d\n", len(files), plan.Len())
+	for _, a := range plan.Actions() {
+		fmt.Println(" ", a)
+	}
+	fmt.Printf("cost per interval: %.4f\n", cost)
+	return nil
+}
+
+func loadInstance(path string) (*postcard.Network, []postcard.File, error) {
+	if path == "" {
+		return defaultInstance()
+	}
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading instance: %w", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	inst, err := postcard.ReadInstance(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return inst.Build()
+}
+
+func defaultInstance() (*postcard.Network, []postcard.File, error) {
+	nw, files, err := postcard.Fig3Topology(0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nw, files, nil
+}
+
+func solve(name string, ledger *postcard.Ledger, files []postcard.File, slot int) (*postcard.Schedule, float64, postcard.SolveStatus, error) {
+	switch name {
+	case "postcard":
+		res, err := postcard.Solve(ledger, files, slot, nil)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return res.Schedule, res.CostPerSlot, res.Status, nil
+	case "flow":
+		res, err := postcard.FlowSolve(ledger, files, slot, nil)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return res.Schedule, res.CostPerSlot, res.Status, nil
+	case "flow-two-phase":
+		res, err := postcard.FlowTwoPhaseSolve(ledger, files, slot, nil)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return res.Schedule, res.CostPerSlot, res.Status, nil
+	case "flow-greedy":
+		res, err := postcard.FlowGreedySolve(ledger, files, slot)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return res.Schedule, res.CostPerSlot, res.Status, nil
+	case "direct":
+		res, err := postcard.FlowDirectSolve(ledger, files, slot)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return res.Schedule, res.CostPerSlot, res.Status, nil
+	default:
+		return nil, 0, 0, fmt.Errorf("unknown scheduler %q", name)
+	}
+}

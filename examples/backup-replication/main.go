@@ -1,0 +1,87 @@
+// Backup-replication simulates the workload the paper's introduction
+// motivates: delay-tolerant inter-datacenter backups with a strong diurnal
+// pattern. Six datacenters replicate data continuously for two simulated
+// days; daytime slots generate far more traffic than night slots. The
+// example compares the charged cost per interval under Postcard,
+// the flow-based model, and direct transfers on the identical workload.
+//
+// Run with:
+//
+//	go run ./examples/backup-replication
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/interdc/postcard"
+)
+
+const (
+	numDCs   = 6
+	slots    = 48 // two days of 24 "hours"
+	capacity = 14 // GB per slot per link (deliberately throttled: the Fig. 6-7 regime)
+	seed     = 7
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("backup-replication: ")
+
+	nw, err := postcard.Complete(numDCs, postcard.UniformPrices(seed), capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Backups are delay tolerant: every file may take up to 8 slots.
+	gen, err := postcard.NewDiurnalWorkload(postcard.DiurnalWorkloadConfig{
+		Uniform: postcard.UniformWorkloadConfig{
+			NumDCs:        numDCs,
+			MinFiles:      2,
+			MaxFiles:      5,
+			MinSizeGB:     8,
+			MaxSizeGB:     40,
+			MaxDeadline:   8,
+			FixedDeadline: true,
+			Seed:          seed + 1,
+		},
+		Period:    24,
+		Amplitude: 0.9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Record once so every scheduler replays the same demand.
+	trace := postcard.RecordTrace(gen, slots)
+	fmt.Printf("workload: %d backup files, %.0f GB total over %d slots (diurnal)\n\n",
+		len(trace.Files), trace.TotalVolume(), slots)
+
+	schedulers := []postcard.Scheduler{
+		&postcard.PostcardScheduler{},
+		&postcard.FlowScheduler{Variant: postcard.FlowLP},
+		&postcard.FlowScheduler{Variant: postcard.FlowDirect},
+	}
+	fmt.Printf("%-12s %16s %10s %12s\n", "scheduler", "final cost/slot", "dropped", "solve time")
+	results := make(map[string]*postcard.RunStats, len(schedulers))
+	for _, sched := range schedulers {
+		ledger, err := postcard.NewLedger(nw, postcard.MaxCharging(slots))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs, err := postcard.Run(ledger, sched, trace, slots)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[sched.Name()] = rs
+		fmt.Printf("%-12s %16.1f %10d %12s\n",
+			sched.Name(), rs.FinalCostPerSlot, rs.DroppedFiles, rs.Elapsed.Round(1000000))
+	}
+
+	pc := results["postcard"].FinalCostPerSlot
+	fl := results["flow-based"].FinalCostPerSlot
+	dr := results["direct"].FinalCostPerSlot
+	fmt.Printf("\npostcard saves %.1f%% vs direct and %.1f%% vs flow-based\n",
+		100*(dr-pc)/dr, 100*(fl-pc)/fl)
+	fmt.Println("\nwhy: the nightly lull leaves daytime-paid links idle; store-and-")
+	fmt.Println("forward time-shifts backup traffic into those already-paid slots.")
+}

@@ -1,0 +1,3 @@
+module github.com/interdc/postcard
+
+go 1.22

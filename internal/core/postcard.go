@@ -1,0 +1,398 @@
+// Package core implements the Postcard optimizer — the paper's primary
+// contribution. At a slot t, given the files generated at t and a charging
+// ledger describing everything already committed to the network, it builds
+// the linear program of Sec. V on the time-expanded graph (objective (6),
+// constraints (7)-(10), with the pairwise-max charged volume linearized via
+// one epigraph variable per link) and extracts an optimal routing and
+// scheduling plan, including store-and-forward holdovers at intermediate
+// datacenters.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/interdc/postcard/internal/lp"
+	"github.com/interdc/postcard/internal/netmodel"
+	"github.com/interdc/postcard/internal/schedule"
+	"github.com/interdc/postcard/internal/timegraph"
+)
+
+// StoragePolicy controls which datacenters may hold data between slots —
+// the store-and-forward capability the paper studies. The zero value is
+// StorageEverywhere.
+type StoragePolicy int
+
+// Storage policies.
+const (
+	// StorageEverywhere allows holdovers at every datacenter (the paper's
+	// Postcard model).
+	StorageEverywhere StoragePolicy = iota
+	// StorageEndpointsOnly allows holdovers only at a file's own source and
+	// destination, disabling intermediate store-and-forward. Used by the
+	// ablation benchmarks to isolate the value of relay storage.
+	StorageEndpointsOnly
+	// StorageNone forbids holdovers entirely: data must traverse a link
+	// every slot it is in flight.
+	StorageNone
+)
+
+// Config tunes the optimizer. The zero value selects defaults.
+type Config struct {
+	// Epsilon is the weight of the secondary traffic-minimization term that
+	// breaks ties among cost-equal optima (it discourages gratuitous
+	// traffic riding below the charged peak). Default 1e-6.
+	Epsilon float64
+	// Storage selects where holdovers are permitted.
+	Storage StoragePolicy
+	// LP overrides solver options.
+	LP *lp.Options
+	// SkipVerify disables the independent schedule verification pass.
+	SkipVerify bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := Config{}
+	if c != nil {
+		out = *c
+	}
+	if out.Epsilon <= 0 {
+		out.Epsilon = 1e-6
+	}
+	return out
+}
+
+// Result is the outcome of one Postcard optimization.
+type Result struct {
+	// Schedule is the optimal plan, nil when Status != lp.Optimal.
+	Schedule *schedule.Schedule
+	// CostPerSlot is sum over links of price * charged volume after the
+	// plan is committed — the paper's objective divided by the charging
+	// period length.
+	CostPerSlot float64
+	// Status is the LP outcome (Optimal, or Infeasible when the files
+	// cannot all meet their deadlines under residual capacity).
+	Status lp.Status
+	// Iterations and Variables/Constraints describe the solved LP.
+	Iterations  int
+	Phase1Iter  int
+	Variables   int
+	Constraints int
+}
+
+// UnroutableError reports files whose destination is structurally
+// unreachable within their deadline (no capacity consideration at all).
+type UnroutableError struct {
+	FileIDs []int
+}
+
+// Error implements error.
+func (e *UnroutableError) Error() string {
+	ids := make([]string, len(e.FileIDs))
+	for i, id := range e.FileIDs {
+		ids[i] = fmt.Sprintf("%d", id)
+	}
+	return fmt.Sprintf("core: files [%s] cannot reach their destinations within their deadlines", strings.Join(ids, " "))
+}
+
+// Solve computes the optimal Postcard plan for the given files at slot t.
+// Every file must satisfy Release >= t. The ledger supplies residual
+// capacities and the already-charged volume floor X_ij(t-1); it is not
+// modified (callers apply the returned schedule explicitly).
+func Solve(ledger *netmodel.Ledger, files []netmodel.File, t int, cfg *Config) (*Result, error) {
+	conf := cfg.withDefaults()
+	nw := ledger.Network()
+	if len(files) == 0 {
+		return &Result{
+			Schedule:    &schedule.Schedule{},
+			CostPerSlot: ledger.CostPerSlot(),
+			Status:      lp.Optimal,
+		}, nil
+	}
+	horizon := 0
+	for _, f := range files {
+		if err := f.Validate(nw); err != nil {
+			return nil, err
+		}
+		if f.Release < t {
+			return nil, fmt.Errorf("core: file %d released at %d before solve slot %d", f.ID, f.Release, t)
+		}
+		if end := f.Release + f.Deadline - t; end > horizon {
+			horizon = end
+		}
+	}
+	tg, err := timegraph.Build(nw, t, horizon)
+	if err != nil {
+		return nil, err
+	}
+	// Structural routability check before building the LP.
+	reach := make([]timegraph.Reachability, len(files))
+	var unroutable []int
+	for k, f := range files {
+		reach[k] = tg.FileReachability(f)
+		if reach[k].FromSrc[f.Dst] > f.Deadline {
+			unroutable = append(unroutable, f.ID)
+		}
+	}
+	if len(unroutable) > 0 {
+		sort.Ints(unroutable)
+		return nil, &UnroutableError{FileIDs: unroutable}
+	}
+
+	b := newBuilder(tg, ledger, files, reach, conf)
+	if err := b.build(); err != nil {
+		return nil, err
+	}
+	sol, err := b.model.Solve(conf.LP)
+	if err != nil {
+		return nil, fmt.Errorf("core: solving Postcard LP: %w", err)
+	}
+	res := &Result{
+		Status:      sol.Status,
+		Iterations:  sol.Iterations,
+		Phase1Iter:  sol.Phase1Iter,
+		Variables:   b.model.NumVariables(),
+		Constraints: b.model.NumConstraints(),
+	}
+	if sol.Status != lp.Optimal {
+		return res, nil
+	}
+	res.Schedule = b.extractSchedule(sol)
+	res.CostPerSlot = b.chargedCost(sol)
+	if !conf.SkipVerify {
+		vc := schedule.VerifyConfig{
+			Residual: func(i, j netmodel.DC, slot int) float64 { return ledger.Residual(i, j, slot) },
+			Tol:      1e-4, // GB; matches LP tolerance noise on multi-GB files
+		}
+		if err := schedule.Verify(res.Schedule, nw, files, vc); err != nil {
+			return nil, fmt.Errorf("core: optimizer produced an invalid schedule: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// builder assembles the Postcard LP.
+type builder struct {
+	tg     *timegraph.Graph
+	ledger *netmodel.Ledger
+	files  []netmodel.File
+	reach  []timegraph.Reachability
+	conf   Config
+
+	model *lp.Model
+	// mvars[k] maps edge index -> variable, -1 when the file cannot use it.
+	mvars [][]lp.VarID
+	// xvars maps link -> epigraph variable for the charged volume.
+	xvars map[netmodel.Link]lp.VarID
+}
+
+func newBuilder(tg *timegraph.Graph, ledger *netmodel.Ledger, files []netmodel.File, reach []timegraph.Reachability, conf Config) *builder {
+	return &builder{
+		tg:     tg,
+		ledger: ledger,
+		files:  files,
+		reach:  reach,
+		conf:   conf,
+		model:  lp.NewModel(),
+		xvars:  make(map[netmodel.Link]lp.VarID),
+	}
+}
+
+func (b *builder) build() error {
+	nw := b.tg.Network()
+	pinf := math.Inf(1)
+	// Charged-volume epigraph variables, one per priced link, floored at
+	// the volume already charged (the running X_ij(t-1) plus committed
+	// future peaks).
+	nw.Links(func(l netmodel.Link, price, _ float64) {
+		b.xvars[l] = b.model.AddVariable(b.ledger.ChargedVolume(l.From, l.To), pinf,
+			price, fmt.Sprintf("X_%s", l))
+	})
+	// Per-file transfer/holdover variables over the file's subgraph.
+	b.mvars = make([][]lp.VarID, len(b.files))
+	for k, f := range b.files {
+		b.mvars[k] = make([]lp.VarID, b.tg.NumEdges())
+		for i := range b.mvars[k] {
+			b.mvars[k][i] = -1
+		}
+		first, last, ok := b.tg.FileWindow(f)
+		if !ok {
+			return fmt.Errorf("core: file %d outside graph horizon", f.ID)
+		}
+		r := b.reach[k]
+		b.tg.Edges(func(e timegraph.Edge) {
+			if e.Slot < first || e.Slot > last {
+				return
+			}
+			if !r.Allowed(f, e.From, e.Slot) || !r.Allowed(f, e.To, e.Slot+1) {
+				return
+			}
+			if e.Storage {
+				switch b.conf.Storage {
+				case StorageEndpointsOnly:
+					if e.From != f.Src && e.From != f.Dst {
+						return
+					}
+				case StorageNone:
+					return
+				}
+			}
+			obj := 0.0
+			if !e.Storage {
+				obj = b.conf.Epsilon
+			}
+			name := fmt.Sprintf("M_f%d_%d>%d@%d", f.ID, int(e.From), int(e.To), e.Slot)
+			b.mvars[k][e.Index] = b.model.AddVariable(0, f.Size, obj, name)
+		})
+	}
+	if err := b.addCapacityAndCharge(); err != nil {
+		return err
+	}
+	return b.addConservation()
+}
+
+// addCapacityAndCharge emits constraint (7) (per-edge capacity against the
+// residual ledger) and the epigraph rows linearizing the charged volume:
+// X_ij >= committed(i,j,n) + sum_k M_ijn for every slot n with variables.
+func (b *builder) addCapacityAndCharge() error {
+	var idx []lp.VarID
+	var val []float64
+	errOut := error(nil)
+	b.tg.Edges(func(e timegraph.Edge) {
+		if errOut != nil || e.Storage {
+			return
+		}
+		idx = idx[:0]
+		val = val[:0]
+		for k := range b.files {
+			if v := b.mvars[k][e.Index]; v >= 0 {
+				idx = append(idx, v)
+				val = append(val, 1)
+			}
+		}
+		if len(idx) == 0 {
+			return
+		}
+		residual := b.ledger.Residual(e.From, e.To, e.Slot)
+		if _, err := b.model.AddConstraint(lp.LE, residual, idx, val); err != nil {
+			errOut = err
+			return
+		}
+		// Charge row: sum_k M - X <= -committedVolume.
+		committed := b.ledger.VolumeAt(e.From, e.To, e.Slot)
+		x := b.xvars[netmodel.Link{From: e.From, To: e.To}]
+		idx = append(idx, x)
+		val = append(val, -1)
+		if _, err := b.model.AddConstraint(lp.LE, -committed, idx, val); err != nil {
+			errOut = err
+		}
+	})
+	return errOut
+}
+
+// addConservation emits constraints (8): per file, flow out of the source
+// at its release layer equals the size, flow into the destination at the
+// deadline layer equals the size, and inflow equals outflow at every other
+// (datacenter, layer) of the file's subgraph.
+func (b *builder) addConservation() error {
+	nw := b.tg.Network()
+	n := nw.NumDCs()
+	for k, f := range b.files {
+		first, last, _ := b.tg.FileWindow(f)
+		r := b.reach[k]
+		deadlineLayer := f.Release + f.Deadline
+		if clamp := b.tg.Start() + b.tg.Horizon(); deadlineLayer > clamp {
+			deadlineLayer = clamp
+		}
+		for layer := first; layer <= deadlineLayer; layer++ {
+			for dc := 0; dc < n; dc++ {
+				d := netmodel.DC(dc)
+				if !r.Allowed(f, d, layer) {
+					continue
+				}
+				var idx []lp.VarID
+				var val []float64
+				// Outflow during slot == layer (absent at the final layer).
+				if layer <= last {
+					for to := 0; to < n; to++ {
+						if e, ok := b.tg.EdgeAt(d, netmodel.DC(to), layer); ok {
+							if v := b.mvars[k][e.Index]; v >= 0 {
+								idx = append(idx, v)
+								val = append(val, 1)
+							}
+						}
+					}
+				}
+				// Inflow during slot == layer-1 (absent at the first layer).
+				if layer > first {
+					for from := 0; from < n; from++ {
+						if e, ok := b.tg.EdgeAt(netmodel.DC(from), d, layer-1); ok {
+							if v := b.mvars[k][e.Index]; v >= 0 {
+								idx = append(idx, v)
+								val = append(val, -1)
+							}
+						}
+					}
+				}
+				rhs := 0.0
+				switch {
+				case layer == f.Release && d == f.Src:
+					rhs = f.Size // all data leaves the source copy
+				case layer == deadlineLayer && d == f.Dst:
+					rhs = -f.Size // all data has arrived
+				}
+				if len(idx) == 0 {
+					if rhs != 0 {
+						return fmt.Errorf("core: file %d has no variables to satisfy its %s constraint",
+							f.ID, map[bool]string{true: "source", false: "destination"}[rhs > 0])
+					}
+					continue
+				}
+				if _, err := b.model.AddConstraint(lp.EQ, rhs, idx, val); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// extractSchedule converts positive variables of the solution into actions.
+// Values at solver-noise scale are dropped; the verifier runs with a
+// matching tolerance.
+func (b *builder) extractSchedule(sol *lp.Solution) *schedule.Schedule {
+	const tol = 1e-5
+	s := &schedule.Schedule{}
+	for k, f := range b.files {
+		for idx, v := range b.mvars[k] {
+			if v < 0 {
+				continue
+			}
+			amount := sol.Value(v)
+			if amount <= tol {
+				continue
+			}
+			e := b.tg.Edge(idx)
+			s.Add(schedule.Action{
+				FileID: f.ID,
+				From:   e.From,
+				To:     e.To,
+				Slot:   e.Slot,
+				Amount: amount,
+			})
+		}
+	}
+	return s
+}
+
+// chargedCost evaluates sum over links of price * X at the LP optimum.
+func (b *builder) chargedCost(sol *lp.Solution) float64 {
+	total := 0.0
+	nw := b.tg.Network()
+	nw.Links(func(l netmodel.Link, price, _ float64) {
+		total += price * sol.Value(b.xvars[l])
+	})
+	return total
+}

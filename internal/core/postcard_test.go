@@ -1,0 +1,346 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/interdc/postcard/internal/lp"
+	"github.com/interdc/postcard/internal/netmodel"
+	"github.com/interdc/postcard/internal/schedule"
+)
+
+func newLedger(t *testing.T, nw *netmodel.Network) *netmodel.Ledger {
+	t.Helper()
+	l, err := netmodel.NewLedger(nw, netmodel.MaxCharging(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func mustSolve(t *testing.T, ledger *netmodel.Ledger, files []netmodel.File, slot int) *Result {
+	t.Helper()
+	res, err := Solve(ledger, files, slot, nil)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != lp.Optimal {
+		t.Fatalf("status = %v, want optimal", res.Status)
+	}
+	return res
+}
+
+// TestFig1MotivatingExample reproduces the paper's Fig. 1: a 6 MB file from
+// D2 to D3 within 3 slots. Sending directly costs 20 per interval; the
+// optimal plan pipelines two 3 MB blocks through D1 for a cost of 12.
+func TestFig1MotivatingExample(t *testing.T) {
+	nw, file, err := netmodel.Fig1Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger := newLedger(t, nw)
+	res := mustSolve(t, ledger, []netmodel.File{file}, 0)
+	if math.Abs(res.CostPerSlot-12) > 1e-6 {
+		t.Errorf("Postcard cost = %v, want 12 (paper Fig. 1b)", res.CostPerSlot)
+	}
+	// The direct transfer at the desired rate costs 10 * 2 = 20.
+	direct := nw.Price(file.Src, file.Dst) * file.DesiredRate()
+	if math.Abs(direct-20) > 1e-9 {
+		t.Fatalf("direct cost = %v, want 20 (paper Fig. 1a)", direct)
+	}
+	if res.CostPerSlot >= direct {
+		t.Errorf("Postcard %v should beat direct %v", res.CostPerSlot, direct)
+	}
+}
+
+// TestFig3WorkedExample reproduces the worked example of Sec. V: Postcard's
+// optimum is 32.67 per interval versus 52 without routing or scheduling.
+func TestFig3WorkedExample(t *testing.T) {
+	nw, files, err := netmodel.Fig3Topology(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger := newLedger(t, nw)
+	res := mustSolve(t, ledger, files, 3)
+	want := 30 + 8.0/3.0 // 32.67 in the paper
+	if math.Abs(res.CostPerSlot-want) > 1e-5 {
+		t.Errorf("Postcard cost = %v, want %v (paper Sec. V)", res.CostPerSlot, want)
+	}
+	// The mechanism matters, not just the number: the plan must hold data
+	// (store-and-forward) and reuse the already-paid D1->D4 link in the
+	// last two slots.
+	holds := 0.0
+	for _, a := range res.Schedule.Actions() {
+		if a.IsHold() {
+			holds += a.Amount
+		}
+	}
+	if holds <= 0 {
+		t.Error("expected holdovers at intermediate datacenters, got none")
+	}
+	late14 := res.Schedule.TransferVolume(0, 3, 5) + res.Schedule.TransferVolume(0, 3, 6)
+	if late14 < 7.9 {
+		t.Errorf("expected ~8 GB forwarded on D1->D4 during slots 5-6, got %v", late14)
+	}
+}
+
+// TestFig3ChargeFloorReused checks the online property: after File 2 is
+// committed, the charged volume on D1->D4 is 5, and a later file can ride
+// under that charge for free.
+func TestFig3ChargeFloorReused(t *testing.T) {
+	nw, files, err := netmodel.Fig3Topology(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger := newLedger(t, nw)
+	// Commit File 2 alone first.
+	res2 := mustSolve(t, ledger, files[1:], 3)
+	if err := res2.Schedule.Apply(ledger); err != nil {
+		t.Fatal(err)
+	}
+	if got := ledger.ChargedVolume(0, 3); math.Abs(got-5) > 1e-6 {
+		t.Fatalf("charged volume on D1->D4 = %v, want 5", got)
+	}
+	costAfter2 := ledger.CostPerSlot()
+	// Now solve File 1 at slot 3 with the ledger state.
+	res1, err := Solve(ledger, files[:1], 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Status != lp.Optimal {
+		t.Fatalf("status = %v", res1.Status)
+	}
+	// The marginal cost of File 1 must be only the D2->D1 trickle (8/3).
+	if marginal := res1.CostPerSlot - costAfter2; math.Abs(marginal-8.0/3.0) > 1e-5 {
+		t.Errorf("marginal cost = %v, want 8/3", marginal)
+	}
+	if err := res1.Schedule.Apply(ledger); err != nil {
+		t.Fatal(err)
+	}
+	if got := ledger.CostPerSlot(); math.Abs(got-(30+8.0/3.0)) > 1e-5 {
+		t.Errorf("final cost per slot = %v, want 32.67", got)
+	}
+}
+
+func TestEmptyFileSet(t *testing.T) {
+	nw, _, err := netmodel.Fig1Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger := newLedger(t, nw)
+	res, err := Solve(ledger, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != lp.Optimal || res.Schedule.Len() != 0 || res.CostPerSlot != 0 {
+		t.Errorf("empty solve: %+v", res)
+	}
+}
+
+func TestCapacityForcesMultipath(t *testing.T) {
+	// Two DCs with a single direct link of capacity 4: a 10 GB file with
+	// deadline 2 cannot fit (needs 5/slot); adding a relay makes it
+	// feasible via multipath.
+	nw, err := netmodel.NewNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetLink(0, 1, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	ledger := newLedger(t, nw)
+	file := netmodel.File{ID: 1, Src: 0, Dst: 1, Size: 10, Deadline: 2, Release: 0}
+	res, err := Solve(ledger, []netmodel.File{file}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != lp.Infeasible {
+		t.Fatalf("status = %v, want infeasible (8 GB of capacity for 10 GB)", res.Status)
+	}
+	// Add relay links 0->2->1 with capacity 4 each.
+	if err := nw.SetLink(0, 2, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetLink(2, 1, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	res = mustSolve(t, ledger, []netmodel.File{file}, 0)
+	if res.Schedule.TotalTransferred() < 10 {
+		t.Errorf("transferred %v link-GB, want >= 10", res.Schedule.TotalTransferred())
+	}
+}
+
+func TestUnroutableFileReported(t *testing.T) {
+	// 0 -> 1 -> 2 chain: deadline 1 cannot cover two hops.
+	nw, err := netmodel.NewNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetLink(0, 1, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetLink(1, 2, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	ledger := newLedger(t, nw)
+	file := netmodel.File{ID: 7, Src: 0, Dst: 2, Size: 1, Deadline: 1, Release: 0}
+	_, err = Solve(ledger, []netmodel.File{file}, 0, nil)
+	var ue *UnroutableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want UnroutableError", err)
+	}
+	if len(ue.FileIDs) != 1 || ue.FileIDs[0] != 7 {
+		t.Errorf("FileIDs = %v, want [7]", ue.FileIDs)
+	}
+}
+
+func TestReleaseBeforeSolveSlotRejected(t *testing.T) {
+	nw, file, err := netmodel.Fig1Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger := newLedger(t, nw)
+	file.Release = 0
+	if _, err := Solve(ledger, []netmodel.File{file}, 5, nil); err == nil {
+		t.Error("expected error for file released before solve slot")
+	}
+}
+
+func TestDeadlineRespectedUnderCongestion(t *testing.T) {
+	// Deadline-1 file competes with a delay-tolerant file on the same
+	// link: the urgent one must win the early slot.
+	nw, err := netmodel.NewNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetLink(0, 1, 3, 10); err != nil {
+		t.Fatal(err)
+	}
+	ledger := newLedger(t, nw)
+	files := []netmodel.File{
+		{ID: 1, Src: 0, Dst: 1, Size: 10, Deadline: 1, Release: 0},
+		{ID: 2, Src: 0, Dst: 1, Size: 10, Deadline: 4, Release: 0},
+	}
+	res := mustSolve(t, ledger, files, 0)
+	if got := res.Schedule.TransferVolume(0, 1, 0); math.Abs(got-10) > 1e-6 {
+		t.Errorf("slot-0 volume = %v, want 10 (urgent file fills the slot)", got)
+	}
+	// Total charged volume should be 10 (peak), not 20: the tolerant file
+	// is spread under the same peak... but slot 0 is full, so it uses
+	// later slots up to 10/slot free.
+	if math.Abs(res.CostPerSlot-30) > 1e-6 {
+		t.Errorf("cost = %v, want 30 (X = 10 at price 3)", res.CostPerSlot)
+	}
+}
+
+// TestStoreAndForwardBeatsNoStorage builds the situation the paper's
+// evaluation highlights: with throttled capacity, a delay-tolerant file can
+// ride a paid link later, which requires storage at a relay.
+func TestStoreAndForwardBeatsNoStorage(t *testing.T) {
+	nw, files, err := netmodel.Fig3Topology(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger := newLedger(t, nw)
+	res := mustSolve(t, ledger, files, 0)
+	// Evaluating the same instance while forbidding holds: strip storage by
+	// checking the best schedule has holds; the cost gap versus the
+	// flow-style bound (50, from the paper) proves storage helped.
+	if res.CostPerSlot >= 50 {
+		t.Errorf("Postcard %v should beat the no-storage flow bound 50", res.CostPerSlot)
+	}
+}
+
+func TestScheduleVerifiesAgainstIndependentChecker(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(4)
+		nw, err := netmodel.Complete(n, func(i, j netmodel.DC) float64 {
+			return 1 + 9*rng.Float64()
+		}, 20+30*rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ledger := newLedger(t, nw)
+		var files []netmodel.File
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			src := netmodel.DC(rng.Intn(n))
+			dst := netmodel.DC((int(src) + 1 + rng.Intn(n-1)) % n)
+			files = append(files, netmodel.File{
+				ID:       k + 1,
+				Src:      src,
+				Dst:      dst,
+				Size:     1 + 15*rng.Float64(),
+				Deadline: 1 + rng.Intn(4),
+				Release:  0,
+			})
+		}
+		res, err := Solve(ledger, files, 0, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Status != lp.Optimal {
+			continue
+		}
+		// Solve already verifies internally; re-verify here explicitly and
+		// also check the ledger application is consistent.
+		vc := schedule.VerifyConfig{Residual: func(i, j netmodel.DC, slot int) float64 {
+			return ledger.Residual(i, j, slot)
+		}}
+		if err := schedule.Verify(res.Schedule, nw, files, vc); err != nil {
+			t.Fatalf("trial %d: verify: %v", trial, err)
+		}
+		clone := ledger.Clone()
+		if err := res.Schedule.Apply(clone); err != nil {
+			t.Fatalf("trial %d: apply: %v", trial, err)
+		}
+		if got := clone.CostPerSlot(); math.Abs(got-res.CostPerSlot) > 1e-5*(1+res.CostPerSlot) {
+			t.Fatalf("trial %d: ledger cost %v != LP cost %v", trial, got, res.CostPerSlot)
+		}
+	}
+}
+
+// TestOnlineMonotoneCost checks that committing schedules slot after slot
+// only ever increases the charged cost (X is a running max).
+func TestOnlineMonotoneCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	nw, err := netmodel.Complete(5, func(i, j netmodel.DC) float64 { return 1 + 9*rng.Float64() }, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger := newLedger(t, nw)
+	prev := 0.0
+	id := 0
+	for slot := 0; slot < 6; slot++ {
+		var files []netmodel.File
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			id++
+			src := netmodel.DC(rng.Intn(5))
+			dst := netmodel.DC((int(src) + 1 + rng.Intn(4)) % 5)
+			files = append(files, netmodel.File{
+				ID: id, Src: src, Dst: dst,
+				Size: 5 + 20*rng.Float64(), Deadline: 1 + rng.Intn(3), Release: slot,
+			})
+		}
+		res, err := Solve(ledger, files, slot, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != lp.Optimal {
+			t.Fatalf("slot %d: status %v", slot, res.Status)
+		}
+		if res.CostPerSlot < prev-1e-7 {
+			t.Fatalf("slot %d: cost %v dropped below previous %v", slot, res.CostPerSlot, prev)
+		}
+		if err := res.Schedule.Apply(ledger); err != nil {
+			t.Fatal(err)
+		}
+		got := ledger.CostPerSlot()
+		if math.Abs(got-res.CostPerSlot) > 1e-5*(1+got) {
+			t.Fatalf("slot %d: ledger cost %v != LP cost %v", slot, got, res.CostPerSlot)
+		}
+		prev = got
+	}
+}

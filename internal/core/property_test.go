@@ -1,0 +1,268 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/interdc/postcard/internal/lp"
+	"github.com/interdc/postcard/internal/netmodel"
+)
+
+// randomSparseNetwork builds a connected (ring + chords) network so the
+// optimizer is exercised beyond complete graphs.
+func randomSparseNetwork(t *testing.T, rng *rand.Rand, n int, capacity float64) *netmodel.Network {
+	t.Helper()
+	nw, err := netmodel.NewNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if err := nw.SetLink(netmodel.DC(i), netmodel.DC(j), 1+9*rng.Float64(), capacity); err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.SetLink(netmodel.DC(j), netmodel.DC(i), 1+9*rng.Float64(), capacity); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < n/2; k++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j || nw.HasLink(netmodel.DC(i), netmodel.DC(j)) {
+			continue
+		}
+		if err := nw.SetLink(netmodel.DC(i), netmodel.DC(j), 1+9*rng.Float64(), capacity); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+// TestCostMonotoneInDeadline: relaxing a file's deadline can only reduce
+// (or keep) the optimal cost — the shorter-deadline plan remains feasible.
+func TestCostMonotoneInDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(3)
+		nw := randomSparseNetwork(t, rng, n, 25)
+		ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := netmodel.DC(rng.Intn(n))
+		dst := netmodel.DC((int(src) + 1 + rng.Intn(n-1)) % n)
+		base := netmodel.File{
+			ID: 1, Src: src, Dst: dst,
+			Size: 5 + 20*rng.Float64(), Deadline: 2 + rng.Intn(3), Release: 0,
+		}
+		prev := math.Inf(1)
+		for extra := 0; extra < 3; extra++ {
+			f := base
+			f.Deadline += extra
+			res, err := Solve(ledger, []netmodel.File{f}, 0, nil)
+			var ue *UnroutableError
+			if errors.As(err, &ue) {
+				continue // destination beyond reach at this deadline
+			}
+			if err != nil {
+				t.Fatalf("trial %d extra %d: %v", trial, extra, err)
+			}
+			if res.Status != lp.Optimal {
+				continue
+			}
+			if res.CostPerSlot > prev+1e-5*(1+prev) {
+				t.Fatalf("trial %d: cost rose from %v to %v when deadline extended to %d",
+					trial, prev, res.CostPerSlot, f.Deadline)
+			}
+			prev = res.CostPerSlot
+		}
+	}
+}
+
+// TestCostMonotoneInCapacity: adding capacity can only help.
+func TestCostMonotoneInCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + rng.Intn(3)
+		seed := rng.Int63()
+		var files []netmodel.File
+		fileCount := 1 + rng.Intn(3)
+		prev := math.Inf(1)
+		for _, capacity := range []float64{15, 30, 60} {
+			capRng := rand.New(rand.NewSource(seed))
+			nw := randomSparseNetwork(t, capRng, n, capacity)
+			ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files = files[:0]
+			for k := 0; k < fileCount; k++ {
+				src := netmodel.DC(capRng.Intn(n))
+				dst := netmodel.DC((int(src) + 1 + capRng.Intn(n-1)) % n)
+				files = append(files, netmodel.File{
+					ID: k + 1, Src: src, Dst: dst,
+					Size: 5 + 10*capRng.Float64(), Deadline: 2 + capRng.Intn(3), Release: 0,
+				})
+			}
+			res, err := Solve(ledger, files, 0, nil)
+			var ue *UnroutableError
+			if errors.As(err, &ue) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("trial %d cap %v: %v", trial, capacity, err)
+			}
+			if res.Status != lp.Optimal {
+				continue
+			}
+			if res.CostPerSlot > prev+1e-5*(1+prev) {
+				t.Fatalf("trial %d: cost rose from %v to %v when capacity grew to %v",
+					trial, prev, res.CostPerSlot, capacity)
+			}
+			prev = res.CostPerSlot
+		}
+	}
+}
+
+// TestStoragePolicyOrdering: restricting storage can only raise the cost:
+// everywhere <= endpoints-only <= none.
+func TestStoragePolicyOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + rng.Intn(3)
+		nw := randomSparseNetwork(t, rng, n, 40)
+		ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Seed some history so paid headroom exists.
+		for k := 0; k < 3; k++ {
+			i := netmodel.DC(rng.Intn(n))
+			j := netmodel.DC((int(i) + 1) % n)
+			if nw.HasLink(i, j) {
+				if err := ledger.Add(i, j, 0, 10*rng.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		var files []netmodel.File
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			src := netmodel.DC(rng.Intn(n))
+			dst := netmodel.DC((int(src) + 1 + rng.Intn(n-1)) % n)
+			files = append(files, netmodel.File{
+				ID: k + 1, Src: src, Dst: dst,
+				Size: 5 + 10*rng.Float64(), Deadline: 3 + rng.Intn(3), Release: 1,
+			})
+		}
+		costs := make([]float64, 0, 3)
+		for _, policy := range []StoragePolicy{StorageEverywhere, StorageEndpointsOnly, StorageNone} {
+			res, err := Solve(ledger, files, 1, &Config{Storage: policy})
+			var ue *UnroutableError
+			if errors.As(err, &ue) {
+				costs = append(costs, math.Inf(1))
+				continue
+			}
+			if err != nil {
+				t.Fatalf("trial %d policy %d: %v", trial, policy, err)
+			}
+			if res.Status != lp.Optimal {
+				costs = append(costs, math.Inf(1))
+				continue
+			}
+			costs = append(costs, res.CostPerSlot)
+		}
+		for i := 1; i < len(costs); i++ {
+			if costs[i-1] > costs[i]+1e-5*(1+costs[i]) {
+				t.Fatalf("trial %d: policy ordering violated: %v", trial, costs)
+			}
+		}
+	}
+}
+
+// TestMoreFilesNeverCheapen: adding a file to the batch cannot reduce the
+// optimal cost (the smaller batch's plan is a restriction).
+func TestMoreFilesNeverCheapen(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(3)
+		nw := randomSparseNetwork(t, rng, n, 40)
+		ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var files []netmodel.File
+		prev := 0.0
+		for k := 0; k < 4; k++ {
+			src := netmodel.DC(rng.Intn(n))
+			dst := netmodel.DC((int(src) + 1 + rng.Intn(n-1)) % n)
+			files = append(files, netmodel.File{
+				ID: k + 1, Src: src, Dst: dst,
+				Size: 3 + 10*rng.Float64(), Deadline: 2 + rng.Intn(3), Release: 0,
+			})
+			res, err := Solve(ledger, files, 0, nil)
+			var ue *UnroutableError
+			if errors.As(err, &ue) {
+				// The new file cannot reach its destination on this sparse
+				// topology: drop it and keep growing the batch.
+				files = files[:len(files)-1]
+				continue
+			}
+			if err != nil {
+				t.Fatalf("trial %d k %d: %v", trial, k, err)
+			}
+			if res.Status != lp.Optimal {
+				break
+			}
+			if res.CostPerSlot < prev-1e-5*(1+prev) {
+				t.Fatalf("trial %d: cost dropped from %v to %v when file %d was added",
+					trial, prev, res.CostPerSlot, k+1)
+			}
+			prev = res.CostPerSlot
+		}
+	}
+}
+
+// TestSparseTopologyMultiHopRelay: on a ring, a file whose deadline equals
+// the hop distance must be pipelined with holds only when capacity forces
+// it; the solver must find a feasible plan whenever one exists.
+func TestSparseTopologyMultiHopRelay(t *testing.T) {
+	nw, err := netmodel.NewNetwork(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-directional ring 0 -> 1 -> 2 -> 3 -> 4 -> 0, capacity 10.
+	for i := 0; i < 5; i++ {
+		if err := nw.SetLink(netmodel.DC(i), netmodel.DC((i+1)%5), 2, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 hops from 0 to 3; deadline exactly 3.
+	file := netmodel.File{ID: 1, Src: 0, Dst: 3, Size: 10, Deadline: 3, Release: 0}
+	res, err := Solve(ledger, []netmodel.File{file}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != lp.Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// The only route is the full-rate pipeline: 10 GB on each of the three
+	// hops in consecutive slots.
+	for hop, slot := range []int{0, 1, 2} {
+		from := netmodel.DC(hop)
+		to := netmodel.DC(hop + 1)
+		if got := res.Schedule.TransferVolume(from, to, slot); math.Abs(got-10) > 1e-6 {
+			t.Errorf("hop %d slot %d carries %v, want 10", hop, slot, got)
+		}
+	}
+	// Deadline 2 is structurally impossible (3 hops).
+	file.Deadline = 2
+	if _, err := Solve(ledger, []netmodel.File{file}, 0, nil); err == nil {
+		t.Error("expected UnroutableError for a 3-hop file with deadline 2")
+	}
+}

@@ -1,0 +1,549 @@
+// Package flowbased implements the paper's comparison baseline (Sec. II-B):
+// routing without store-and-forward. Every file k becomes a flow with the
+// constant desired rate r_k = F_k / T_k that lasts exactly T_k slots; the
+// flow may split across multiple multi-hop paths but may never pause at an
+// intermediate datacenter.
+//
+// Four schedulers are provided:
+//
+//   - Solve: the optimal flow model as a single LP minimizing the charged
+//     cost directly (it subsumes the paper's decomposition and is used for
+//     the evaluation figures);
+//   - SolveTwoPhase: the paper's literal two-step decomposition — a
+//     maximum-concurrent-flow LP that first fills capacity that is already
+//     paid for, then a minimum-cost multicommodity-flow LP for the rest;
+//   - SolveGreedy: a combinatorial cheapest-available-path heuristic
+//     matching the narrative of the paper's Fig. 3 walk-through;
+//   - Direct: no routing and no scheduling at all (Fig. 1a).
+package flowbased
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/interdc/postcard/internal/graph"
+	"github.com/interdc/postcard/internal/lp"
+	"github.com/interdc/postcard/internal/netmodel"
+	"github.com/interdc/postcard/internal/schedule"
+)
+
+// LinkRate is a static per-link rate assignment for one file, in GB/slot.
+type LinkRate struct {
+	From, To netmodel.DC
+	Rate     float64
+}
+
+// Result is the outcome of a flow-based scheduling decision.
+type Result struct {
+	// Schedule is the realized per-slot traffic: each link of a file's
+	// flow carries Rate GB during every slot of the file's active window.
+	Schedule *schedule.Schedule
+	// Rates lists the static flow assignment per file ID.
+	Rates map[int][]LinkRate
+	// CostPerSlot is the charged cost per interval after committing.
+	CostPerSlot float64
+	// Status is the LP status (Optimal, or Infeasible when the rates do
+	// not fit the residual capacities).
+	Status lp.Status
+}
+
+// Config tunes the LP-based schedulers. The zero value selects defaults.
+type Config struct {
+	// Epsilon is the tie-breaking traffic-minimization weight, default 1e-6.
+	Epsilon float64
+	// LP overrides solver options.
+	LP *lp.Options
+}
+
+func (c *Config) withDefaults() Config {
+	out := Config{}
+	if c != nil {
+		out = *c
+	}
+	if out.Epsilon <= 0 {
+		out.Epsilon = 1e-6
+	}
+	return out
+}
+
+// active reports whether file f occupies the network during slot n.
+func active(f netmodel.File, n int) bool {
+	return n >= f.Release && n < f.Release+f.Deadline
+}
+
+// horizonOf reports the first slot after every file has finished.
+func horizonOf(files []netmodel.File, t int) int {
+	end := t
+	for _, f := range files {
+		if e := f.Release + f.Deadline; e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+func validateFiles(nw *netmodel.Network, files []netmodel.File, t int) error {
+	for _, f := range files {
+		if err := f.Validate(nw); err != nil {
+			return err
+		}
+		if f.Release < t {
+			return fmt.Errorf("flowbased: file %d released at %d before solve slot %d", f.ID, f.Release, t)
+		}
+	}
+	return nil
+}
+
+// Solve computes the optimal flow-based assignment as a single LP: minimize
+// sum price*X subject to static per-file conservation, per-slot link
+// capacity, and the charged-volume epigraph rows. It is the strongest
+// possible scheduler within the no-storage flow model.
+func Solve(ledger *netmodel.Ledger, files []netmodel.File, t int, cfg *Config) (*Result, error) {
+	conf := cfg.withDefaults()
+	nw := ledger.Network()
+	if err := validateFiles(nw, files, t); err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return emptyResult(ledger), nil
+	}
+	m := lp.NewModel()
+	fvars, links := addFlowVars(m, nw, files, conf.Epsilon)
+	xvars := addChargeVars(m, ledger, links)
+	if err := addConservation(m, nw, files, fvars); err != nil {
+		return nil, err
+	}
+	if err := addSlotRows(m, ledger, files, fvars, xvars, links, t, nil); err != nil {
+		return nil, err
+	}
+	sol, err := m.Solve(conf.LP)
+	if err != nil {
+		return nil, fmt.Errorf("flowbased: solving flow LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return &Result{Status: sol.Status}, nil
+	}
+	return assemble(ledger, files, fvars, sol, links, xvars)
+}
+
+// emptyResult is the decision for an empty file set.
+func emptyResult(ledger *netmodel.Ledger) *Result {
+	return &Result{
+		Schedule:    &schedule.Schedule{},
+		Rates:       map[int][]LinkRate{},
+		CostPerSlot: ledger.CostPerSlot(),
+		Status:      lp.Optimal,
+	}
+}
+
+// addFlowVars creates one rate variable per (file, link) and returns them
+// along with the link list.
+func addFlowVars(m *lp.Model, nw *netmodel.Network, files []netmodel.File, eps float64) (map[int]map[netmodel.Link]lp.VarID, []netmodel.Link) {
+	var links []netmodel.Link
+	nw.Links(func(l netmodel.Link, _, _ float64) { links = append(links, l) })
+	fvars := make(map[int]map[netmodel.Link]lp.VarID, len(files))
+	for _, f := range files {
+		vars := make(map[netmodel.Link]lp.VarID, len(links))
+		for _, l := range links {
+			vars[l] = m.AddVariable(0, f.DesiredRate()*float64(nw.NumDCs()),
+				eps, fmt.Sprintf("f%d_%s", f.ID, l))
+		}
+		fvars[f.ID] = vars
+	}
+	return fvars, links
+}
+
+// addChargeVars creates the charged-volume epigraph variables.
+func addChargeVars(m *lp.Model, ledger *netmodel.Ledger, links []netmodel.Link) map[netmodel.Link]lp.VarID {
+	nw := ledger.Network()
+	xvars := make(map[netmodel.Link]lp.VarID, len(links))
+	for _, l := range links {
+		xvars[l] = m.AddVariable(ledger.ChargedVolume(l.From, l.To), math.Inf(1),
+			nw.Price(l.From, l.To), fmt.Sprintf("X_%s", l))
+	}
+	return xvars
+}
+
+// addConservation emits static flow conservation per file and node.
+func addConservation(m *lp.Model, nw *netmodel.Network, files []netmodel.File, fvars map[int]map[netmodel.Link]lp.VarID) error {
+	n := nw.NumDCs()
+	for _, f := range files {
+		for node := 0; node < n; node++ {
+			d := netmodel.DC(node)
+			var idx []lp.VarID
+			var val []float64
+			for to := 0; to < n; to++ {
+				if nw.HasLink(d, netmodel.DC(to)) {
+					idx = append(idx, fvars[f.ID][netmodel.Link{From: d, To: netmodel.DC(to)}])
+					val = append(val, 1)
+				}
+			}
+			for from := 0; from < n; from++ {
+				if nw.HasLink(netmodel.DC(from), d) {
+					idx = append(idx, fvars[f.ID][netmodel.Link{From: netmodel.DC(from), To: d}])
+					val = append(val, -1)
+				}
+			}
+			rhs := 0.0
+			switch d {
+			case f.Src:
+				rhs = f.DesiredRate()
+			case f.Dst:
+				rhs = -f.DesiredRate()
+			}
+			if len(idx) == 0 {
+				if rhs != 0 {
+					return fmt.Errorf("flowbased: file %d endpoint D%d has no links", f.ID, node)
+				}
+				continue
+			}
+			if _, err := m.AddConstraint(lp.EQ, rhs, idx, val); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addSlotRows emits, for every link and slot of the horizon, the capacity
+// constraint and the charge epigraph row. capOverride, when non-nil,
+// replaces the residual capacity (used by the two-phase decomposition).
+func addSlotRows(m *lp.Model, ledger *netmodel.Ledger, files []netmodel.File,
+	fvars map[int]map[netmodel.Link]lp.VarID, xvars map[netmodel.Link]lp.VarID,
+	links []netmodel.Link, t int, capOverride func(l netmodel.Link, slot int) float64) error {
+	end := horizonOf(files, t)
+	for _, l := range links {
+		for n := t; n < end; n++ {
+			var idx []lp.VarID
+			var val []float64
+			for _, f := range files {
+				if active(f, n) {
+					idx = append(idx, fvars[f.ID][l])
+					val = append(val, 1)
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			capacity := ledger.Residual(l.From, l.To, n)
+			if capOverride != nil {
+				capacity = capOverride(l, n)
+			}
+			if _, err := m.AddConstraint(lp.LE, capacity, idx, val); err != nil {
+				return err
+			}
+			if xvars != nil {
+				committed := ledger.VolumeAt(l.From, l.To, n)
+				idx = append(idx, xvars[l])
+				val = append(val, -1)
+				if _, err := m.AddConstraint(lp.LE, -committed, idx, val); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// assemble converts an LP solution into rates, a realized schedule, and the
+// resulting cost.
+func assemble(ledger *netmodel.Ledger, files []netmodel.File,
+	fvars map[int]map[netmodel.Link]lp.VarID, sol *lp.Solution,
+	links []netmodel.Link, xvars map[netmodel.Link]lp.VarID) (*Result, error) {
+	const tol = 1e-5
+	res := &Result{
+		Schedule: &schedule.Schedule{},
+		Rates:    make(map[int][]LinkRate, len(files)),
+		Status:   lp.Optimal,
+	}
+	for _, f := range files {
+		var rates []LinkRate
+		for _, l := range links {
+			r := sol.Value(fvars[f.ID][l])
+			if r <= tol {
+				continue
+			}
+			rates = append(rates, LinkRate{From: l.From, To: l.To, Rate: r})
+			for n := f.Release; n < f.Release+f.Deadline; n++ {
+				res.Schedule.Add(schedule.Action{
+					FileID: f.ID, From: l.From, To: l.To, Slot: n, Amount: r,
+				})
+			}
+		}
+		sort.Slice(rates, func(a, b int) bool {
+			if rates[a].From != rates[b].From {
+				return rates[a].From < rates[b].From
+			}
+			return rates[a].To < rates[b].To
+		})
+		res.Rates[f.ID] = rates
+	}
+	nw := ledger.Network()
+	cost := 0.0
+	nw.Links(func(l netmodel.Link, price, _ float64) {
+		cost += price * sol.Value(xvars[l])
+	})
+	res.CostPerSlot = cost
+	if err := ValidateRates(ledger, files, res.Rates); err != nil {
+		return nil, fmt.Errorf("flowbased: LP produced invalid rates: %w", err)
+	}
+	return res, nil
+}
+
+// ValidateRates independently checks a static rate assignment: per-file
+// conservation at every node, rate nonnegativity, and per-slot residual
+// capacity over each file's active window.
+func ValidateRates(ledger *netmodel.Ledger, files []netmodel.File, rates map[int][]LinkRate) error {
+	const tol = 1e-5
+	nw := ledger.Network()
+	n := nw.NumDCs()
+	// Per-slot usage across files for the capacity check.
+	type linkSlot struct {
+		l netmodel.Link
+		n int
+	}
+	use := make(map[linkSlot]float64)
+	for _, f := range files {
+		net := make([]float64, n)
+		for _, lr := range rates[f.ID] {
+			if lr.Rate < -tol {
+				return fmt.Errorf("flowbased: negative rate %v on %v for file %d", lr.Rate, netmodel.Link{From: lr.From, To: lr.To}, f.ID)
+			}
+			if !nw.HasLink(lr.From, lr.To) {
+				return fmt.Errorf("flowbased: rate on missing link %d->%d", lr.From, lr.To)
+			}
+			net[lr.From] += lr.Rate
+			net[lr.To] -= lr.Rate
+			for s := f.Release; s < f.Release+f.Deadline; s++ {
+				use[linkSlot{netmodel.Link{From: lr.From, To: lr.To}, s}] += lr.Rate
+			}
+		}
+		for node := 0; node < n; node++ {
+			want := 0.0
+			switch netmodel.DC(node) {
+			case f.Src:
+				want = f.DesiredRate()
+			case f.Dst:
+				want = -f.DesiredRate()
+			}
+			if math.Abs(net[node]-want) > tol*(1+math.Abs(want)) {
+				return fmt.Errorf("flowbased: file %d conservation at D%d: net %v, want %v",
+					f.ID, node, net[node], want)
+			}
+		}
+	}
+	for ls, u := range use {
+		if avail := ledger.Residual(ls.l.From, ls.l.To, ls.n); u > avail+tol*(1+avail) {
+			return fmt.Errorf("flowbased: link %v slot %d carries %v > residual %v", ls.l, ls.n, u, avail)
+		}
+	}
+	return nil
+}
+
+// graphForSlotWindow builds a graph.Graph whose edge capacities are the
+// minimum residual over the slot window [from, to), minus extra usage.
+func graphForSlotWindow(ledger *netmodel.Ledger, from, to int, extra map[netmodel.Link]float64) (*graph.Graph, map[int]netmodel.Link, error) {
+	nw := ledger.Network()
+	g := graph.New(nw.NumDCs())
+	edgeLinks := make(map[int]netmodel.Link)
+	var buildErr error
+	nw.Links(func(l netmodel.Link, price, _ float64) {
+		if buildErr != nil {
+			return
+		}
+		avail := math.Inf(1)
+		for s := from; s < to; s++ {
+			if r := ledger.Residual(l.From, l.To, s); r < avail {
+				avail = r
+			}
+		}
+		avail -= extra[l]
+		if avail < 0 {
+			avail = 0
+		}
+		id, err := g.AddEdge(int(l.From), int(l.To), avail, price)
+		if err != nil {
+			buildErr = err
+			return
+		}
+		edgeLinks[id] = l
+	})
+	return g, edgeLinks, buildErr
+}
+
+// SolveGreedy routes each file along successive cheapest available paths
+// (by price, ignoring charge history), splitting across paths when the
+// bottleneck is tighter than the desired rate. Files are processed in
+// decreasing desired-rate order. It fails with an *UnroutedError when some
+// rate cannot be placed.
+func SolveGreedy(ledger *netmodel.Ledger, files []netmodel.File, t int) (*Result, error) {
+	nw := ledger.Network()
+	if err := validateFiles(nw, files, t); err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return emptyResult(ledger), nil
+	}
+	order := make([]netmodel.File, len(files))
+	copy(order, files)
+	sort.Slice(order, func(i, j int) bool {
+		if ri, rj := order[i].DesiredRate(), order[j].DesiredRate(); ri != rj {
+			return ri > rj
+		}
+		return order[i].ID < order[j].ID
+	})
+	assigned := make(map[netmodel.Link]map[int]float64) // link -> slot -> rate
+	addUse := func(l netmodel.Link, f netmodel.File, rate float64) {
+		m, ok := assigned[l]
+		if !ok {
+			m = make(map[int]float64)
+			assigned[l] = m
+		}
+		for s := f.Release; s < f.Release+f.Deadline; s++ {
+			m[s] += rate
+		}
+	}
+	res := &Result{
+		Schedule: &schedule.Schedule{},
+		Rates:    make(map[int][]LinkRate, len(files)),
+		Status:   lp.Optimal,
+	}
+	var unrouted []int
+	for _, f := range order {
+		remaining := f.DesiredRate()
+		perLink := make(map[netmodel.Link]float64)
+		for remaining > 1e-9 {
+			extra := make(map[netmodel.Link]float64, len(assigned))
+			for l, slots := range assigned {
+				maxUse := 0.0
+				for s := f.Release; s < f.Release+f.Deadline; s++ {
+					if u := slots[s]; u > maxUse {
+						maxUse = u
+					}
+				}
+				extra[l] = maxUse
+			}
+			g, edgeLinks, err := graphForSlotWindow(ledger, f.Release, f.Release+f.Deadline, extra)
+			if err != nil {
+				return nil, err
+			}
+			path, _, ok := g.ShortestPath(int(f.Src), int(f.Dst), 1e-6)
+			if !ok {
+				unrouted = append(unrouted, f.ID)
+				break
+			}
+			bottleneck := remaining
+			for _, id := range path {
+				if c := g.EdgeInfo(id).Cap; c < bottleneck {
+					bottleneck = c
+				}
+			}
+			if bottleneck <= 1e-9 {
+				unrouted = append(unrouted, f.ID)
+				break
+			}
+			for _, id := range path {
+				l := edgeLinks[id]
+				perLink[l] += bottleneck
+				addUse(l, f, bottleneck)
+			}
+			remaining -= bottleneck
+		}
+		if remaining > 1e-9 {
+			continue
+		}
+		var rates []LinkRate
+		for l, r := range perLink {
+			rates = append(rates, LinkRate{From: l.From, To: l.To, Rate: r})
+			for s := f.Release; s < f.Release+f.Deadline; s++ {
+				res.Schedule.Add(schedule.Action{FileID: f.ID, From: l.From, To: l.To, Slot: s, Amount: r})
+			}
+		}
+		sort.Slice(rates, func(a, b int) bool {
+			if rates[a].From != rates[b].From {
+				return rates[a].From < rates[b].From
+			}
+			return rates[a].To < rates[b].To
+		})
+		res.Rates[f.ID] = rates
+	}
+	if len(unrouted) > 0 {
+		sort.Ints(unrouted)
+		return nil, &UnroutedError{FileIDs: unrouted}
+	}
+	if err := ValidateRates(ledger, files, res.Rates); err != nil {
+		return nil, fmt.Errorf("flowbased: greedy produced invalid rates: %w", err)
+	}
+	res.CostPerSlot = previewCost(ledger, res.Schedule)
+	return res, nil
+}
+
+// Direct sends every file over its direct link at the desired rate — the
+// "no routing or scheduling" baseline of Fig. 1(a). It fails with an
+// *UnroutedError when a direct link is missing or too small.
+func Direct(ledger *netmodel.Ledger, files []netmodel.File, t int) (*Result, error) {
+	nw := ledger.Network()
+	if err := validateFiles(nw, files, t); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Schedule: &schedule.Schedule{},
+		Rates:    make(map[int][]LinkRate, len(files)),
+		Status:   lp.Optimal,
+	}
+	use := make(map[netmodel.Link]map[int]float64)
+	var unrouted []int
+	for _, f := range files {
+		l := netmodel.Link{From: f.Src, To: f.Dst}
+		r := f.DesiredRate()
+		if !nw.HasLink(l.From, l.To) {
+			unrouted = append(unrouted, f.ID)
+			continue
+		}
+		fits := true
+		for s := f.Release; s < f.Release+f.Deadline; s++ {
+			if use[l] == nil {
+				use[l] = make(map[int]float64)
+			}
+			if use[l][s]+r > ledger.Residual(l.From, l.To, s)+1e-9 {
+				fits = false
+			}
+		}
+		if !fits {
+			unrouted = append(unrouted, f.ID)
+			continue
+		}
+		res.Rates[f.ID] = []LinkRate{{From: l.From, To: l.To, Rate: r}}
+		for s := f.Release; s < f.Release+f.Deadline; s++ {
+			use[l][s] += r
+			res.Schedule.Add(schedule.Action{FileID: f.ID, From: l.From, To: l.To, Slot: s, Amount: r})
+		}
+	}
+	if len(unrouted) > 0 {
+		sort.Ints(unrouted)
+		return nil, &UnroutedError{FileIDs: unrouted}
+	}
+	res.CostPerSlot = previewCost(ledger, res.Schedule)
+	return res, nil
+}
+
+// previewCost evaluates the cost per slot after committing s, without
+// mutating the ledger.
+func previewCost(ledger *netmodel.Ledger, s *schedule.Schedule) float64 {
+	clone := ledger.Clone()
+	if err := s.Apply(clone); err != nil {
+		return math.NaN()
+	}
+	return clone.CostPerSlot()
+}
+
+// UnroutedError reports files whose desired rate could not be placed.
+type UnroutedError struct {
+	FileIDs []int
+}
+
+// Error implements error.
+func (e *UnroutedError) Error() string {
+	return fmt.Sprintf("flowbased: %d file(s) could not be routed at their desired rate: %v", len(e.FileIDs), e.FileIDs)
+}

@@ -1,0 +1,260 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustEdge(t *testing.T, g *Graph, from, to int, capacity, cost float64) int {
+	t.Helper()
+	id, err := g.AddEdge(from, to, capacity, cost)
+	if err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", from, to, err)
+	}
+	return id
+}
+
+func TestMaxFlowSimple(t *testing.T) {
+	// Classic diamond: s=0, t=3, max flow 15.
+	g := New(4)
+	mustEdge(t, g, 0, 1, 10, 0)
+	mustEdge(t, g, 0, 2, 10, 0)
+	mustEdge(t, g, 1, 3, 10, 0)
+	mustEdge(t, g, 2, 3, 5, 0)
+	f, err := g.MaxFlow(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-15) > 1e-9 {
+		t.Errorf("max flow = %v, want 15", f)
+	}
+	if err := g.FlowConservationError(0, 3, f, 1e-9); err != nil {
+		t.Errorf("conservation: %v", err)
+	}
+}
+
+func TestMaxFlowNeedsResidual(t *testing.T) {
+	// The classic example where a naive greedy gets stuck without
+	// residual (backward) edges: two crossing paths through a middle edge.
+	g := New(4)
+	mustEdge(t, g, 0, 1, 1, 0)
+	mustEdge(t, g, 0, 2, 1, 0)
+	mustEdge(t, g, 1, 2, 1, 0)
+	mustEdge(t, g, 1, 3, 1, 0)
+	mustEdge(t, g, 2, 3, 1, 0)
+	f, err := g.MaxFlow(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-2) > 1e-9 {
+		t.Errorf("max flow = %v, want 2", f)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g := New(3)
+	mustEdge(t, g, 0, 1, 5, 0)
+	f, err := g.MaxFlow(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 0 {
+		t.Errorf("max flow = %v, want 0", f)
+	}
+}
+
+func TestMaxFlowErrors(t *testing.T) {
+	g := New(3)
+	if _, err := g.MaxFlow(0, 0); err == nil {
+		t.Error("expected error for s == t")
+	}
+	if _, err := g.MaxFlow(-1, 2); err == nil {
+		t.Error("expected error for out-of-range source")
+	}
+	if _, err := g.AddEdge(0, 1, -1, 0); err == nil {
+		t.Error("expected error for negative capacity")
+	}
+	if _, err := g.AddEdge(0, 9, 1, 0); err == nil {
+		t.Error("expected error for out-of-range endpoint")
+	}
+}
+
+func TestMinCostFlowSimple(t *testing.T) {
+	// Two parallel paths: cheap one of capacity 5, expensive one of
+	// capacity 10. Sending 8 uses the cheap path fully.
+	g := New(4)
+	mustEdge(t, g, 0, 1, 5, 1)
+	mustEdge(t, g, 1, 3, 5, 1)
+	mustEdge(t, g, 0, 2, 10, 4)
+	mustEdge(t, g, 2, 3, 10, 4)
+	sent, cost, err := g.MinCostFlow(0, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sent-8) > 1e-9 {
+		t.Fatalf("sent = %v, want 8", sent)
+	}
+	want := 5.0*2 + 3.0*8
+	if math.Abs(cost-want) > 1e-9 {
+		t.Errorf("cost = %v, want %v", cost, want)
+	}
+	if err := g.FlowConservationError(0, 3, sent, 1e-9); err != nil {
+		t.Errorf("conservation: %v", err)
+	}
+}
+
+func TestMinCostFlowPartial(t *testing.T) {
+	g := New(2)
+	mustEdge(t, g, 0, 1, 3, 2)
+	sent, cost, err := g.MinCostFlow(0, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sent-3) > 1e-9 || math.Abs(cost-6) > 1e-9 {
+		t.Errorf("sent=%v cost=%v, want 3, 6", sent, cost)
+	}
+}
+
+func TestMinCostFlowPrefersReroute(t *testing.T) {
+	// Sending more flow must be able to undo an earlier greedy choice via
+	// residual edges.
+	g := New(4)
+	mustEdge(t, g, 0, 1, 2, 1)
+	mustEdge(t, g, 1, 3, 1, 1)
+	mustEdge(t, g, 1, 2, 1, 1)
+	mustEdge(t, g, 0, 2, 1, 10)
+	mustEdge(t, g, 2, 3, 2, 1)
+	sent, cost, err := g.MinCostFlow(0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sent-3) > 1e-9 {
+		t.Fatalf("sent = %v, want 3", sent)
+	}
+	// Optimal: 0-1-3 (1 unit, cost 2), 0-1-2-3 (1 unit, cost 3),
+	// 0-2-3 (1 unit, cost 11) -> total 16.
+	if math.Abs(cost-16) > 1e-9 {
+		t.Errorf("cost = %v, want 16", cost)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := New(4)
+	e01 := mustEdge(t, g, 0, 1, 5, 1)
+	e13 := mustEdge(t, g, 1, 3, 5, 3)
+	mustEdge(t, g, 0, 2, 5, 2)
+	mustEdge(t, g, 2, 3, 5, 3)
+	path, cost, ok := g.ShortestPath(0, 3, 0)
+	if !ok {
+		t.Fatal("no path found")
+	}
+	if math.Abs(cost-4) > 1e-9 {
+		t.Errorf("cost = %v, want 4", cost)
+	}
+	if len(path) != 2 || path[0] != e01 || path[1] != e13 {
+		t.Errorf("path = %v, want [%d %d]", path, e01, e13)
+	}
+}
+
+func TestShortestPathRespectsResidual(t *testing.T) {
+	g := New(3)
+	cheap := mustEdge(t, g, 0, 2, 1, 1)
+	mustEdge(t, g, 0, 1, 5, 2)
+	mustEdge(t, g, 1, 2, 5, 2)
+	// Saturate the cheap edge.
+	if _, _, err := g.MinCostFlow(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if f := g.EdgeFlow(cheap); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("cheap edge flow = %v, want 1", f)
+	}
+	path, cost, ok := g.ShortestPath(0, 2, 0.5)
+	if !ok {
+		t.Fatal("no path with residual >= 0.5")
+	}
+	if len(path) != 2 || math.Abs(cost-4) > 1e-9 {
+		t.Errorf("path=%v cost=%v, want the 2-hop path of cost 4", path, cost)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := New(2)
+	if _, _, ok := g.ShortestPath(0, 1, 0); ok {
+		t.Error("expected unreachable")
+	}
+}
+
+// randomFlowNetwork builds a connected random DAG-ish network.
+func randomFlowNetwork(rng *rand.Rand, n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < 0.35 {
+				capacity := float64(1 + rng.Intn(10))
+				cost := float64(1 + rng.Intn(9))
+				if _, err := g.AddEdge(i, j, capacity, cost); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func TestMaxFlowRandomInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(6)
+		g := randomFlowNetwork(rng, n)
+		f, err := g.MaxFlow(0, n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f < 0 {
+			t.Fatalf("negative max flow %v", f)
+		}
+		if err := g.FlowConservationError(0, n-1, f, 1e-7); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Max flow can not exceed the capacity of the source cut.
+		srcCap := 0.0
+		for id := 0; id < g.NumEdges(); id++ {
+			e := g.EdgeInfo(id)
+			if e.From == 0 {
+				srcCap += e.Cap
+			}
+		}
+		if f > srcCap+1e-9 {
+			t.Fatalf("flow %v exceeds source cut %v", f, srcCap)
+		}
+	}
+}
+
+func TestMinCostFlowMatchesMaxFlowValue(t *testing.T) {
+	// Min-cost flow asked for an unreachable amount must deliver exactly
+	// the max-flow value.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(5)
+		g1 := randomFlowNetwork(rng, n)
+		g2 := New(n)
+		for id := 0; id < g1.NumEdges(); id++ {
+			e := g1.EdgeInfo(id)
+			if _, err := g2.AddEdge(e.From, e.To, e.Cap, e.Cost); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mf, err := g1.MaxFlow(0, n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent, _, err := g2.MinCostFlow(0, n-1, 1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mf-sent) > 1e-6 {
+			t.Fatalf("trial %d: max flow %v != min-cost-flow saturation %v", trial, mf, sent)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestStrongDualityIdentity checks the optimality certificate on random
+// optimal instances: with duals y and reduced costs d, the identity
+// c·x = y·b + Σ_j d_j·x_j must hold (complementary slackness makes both
+// sides collapse onto the optimal objective).
+func TestStrongDualityIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		m := randomModel(rng)
+		s, err := m.Solve(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Status != Optimal {
+			continue
+		}
+		// Evaluate in minimization convention.
+		sign := 1.0
+		if m.maximize {
+			sign = -1
+		}
+		lhs := sign * s.Objective
+		rhs := 0.0
+		for i, r := range m.rows {
+			rhs += sign * s.Dual[i] * r.rhs
+		}
+		for j := range s.X {
+			rhs += sign * s.ReducedObj[j] * s.X[j]
+		}
+		scale := 1 + math.Abs(lhs)
+		if math.Abs(lhs-rhs) > 1e-4*scale {
+			t.Fatalf("trial %d: duality identity broken: c·x=%v, y·b+d·x=%v", trial, lhs, rhs)
+		}
+		checked++
+	}
+	if checked < 60 {
+		t.Fatalf("only %d optimal instances checked", checked)
+	}
+}
+
+// TestComplementarySlackness: on optimal solutions, a strictly interior
+// variable must have (near-)zero reduced cost and a slack constraint a
+// (near-)zero dual.
+func TestComplementarySlackness(t *testing.T) {
+	rng := rand.New(rand.NewSource(809))
+	for trial := 0; trial < 200; trial++ {
+		m := randomModel(rng)
+		s, err := m.Solve(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Status != Optimal {
+			continue
+		}
+		const tol = 1e-5
+		for j, x := range s.X {
+			interior := (math.IsInf(m.lo[j], -1) || x > m.lo[j]+1e-6) &&
+				(math.IsInf(m.hi[j], 1) || x < m.hi[j]-1e-6)
+			if interior && math.Abs(s.ReducedObj[j]) > tol*(1+math.Abs(m.obj[j])) {
+				t.Fatalf("trial %d: interior variable %d has reduced cost %v", trial, j, s.ReducedObj[j])
+			}
+		}
+		for i, r := range m.rows {
+			lhs := 0.0
+			for p, j := range r.idx {
+				lhs += r.val[p] * s.X[j]
+			}
+			slack := math.Abs(lhs - r.rhs)
+			if r.sense != EQ && slack > 1e-5*(1+math.Abs(r.rhs)) {
+				if math.Abs(s.Dual[i]) > tol*10 {
+					t.Fatalf("trial %d: slack row %d (gap %v) has dual %v", trial, i, slack, s.Dual[i])
+				}
+			}
+		}
+	}
+}

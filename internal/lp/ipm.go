@@ -1,0 +1,475 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// IPMOptions controls the interior-point solver. The zero value selects
+// defaults.
+type IPMOptions struct {
+	MaxIterations int     // default 100
+	Tol           float64 // relative residual/gap tolerance, default 1e-8
+}
+
+func (o *IPMOptions) withDefaults() IPMOptions {
+	out := IPMOptions{}
+	if o != nil {
+		out = *o
+	}
+	if out.MaxIterations <= 0 {
+		out.MaxIterations = 100
+	}
+	if out.Tol <= 0 {
+		out.Tol = 1e-8
+	}
+	return out
+}
+
+// SolveInteriorPoint optimizes the model with a Mehrotra predictor-corrector
+// primal-dual interior-point method — the class of algorithm the paper
+// names for solving the Postcard program ("classic algorithms such as ...
+// interior-point methods"). The model is converted to the standard form
+// min c·x, Ax = b, x ≥ 0 (bound shifts, free-variable splits, upper bounds
+// as extra rows) and the Newton systems are solved via dense Cholesky
+// factorizations of the normal equations, which limits this solver to
+// small and medium instances; the revised simplex (Solve) remains the
+// production path. It reports Optimal with a primal solution, or an error
+// when it fails to converge (including infeasible and unbounded models,
+// which it does not classify).
+func (m *Model) SolveInteriorPoint(opts *IPMOptions) (*Solution, error) {
+	opt := opts.withDefaults()
+	sf, err := m.buildStandardForm()
+	if err != nil {
+		return nil, err
+	}
+	x, y, err := sf.mehrotra(opt)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{
+		Status: Optimal,
+		X:      make([]float64, len(m.obj)),
+		Dual:   make([]float64, len(m.rows)),
+	}
+	for j := range m.obj {
+		sb := sf.subs[j]
+		v := sb.shift + sb.sign*x[sb.col1]
+		if sb.col2 >= 0 {
+			v -= x[sb.col2]
+		}
+		sol.X[j] = v
+	}
+	for i := range m.rows {
+		d := y[i]
+		if m.maximize {
+			d = -d
+		}
+		sol.Dual[i] = d
+	}
+	sol.Objective = m.ObjectiveValue(sol.X)
+	return sol, nil
+}
+
+// stdSubst records how an original variable maps into standard form.
+type stdSubst struct {
+	col1  int
+	col2  int // second column for free variables, else -1
+	shift float64
+	sign  float64
+}
+
+// stdForm is min c·x, Ax = b, x >= 0 with a dense row-major A (the IPM is
+// a small-scale cross-checking solver; density is fine).
+type stdForm struct {
+	mRows, nCols int
+	a            [][]float64
+	b            []float64
+	c            []float64
+	subs         []stdSubst
+}
+
+// buildStandardForm rewrites the model into stdForm. Inequality rows get
+// slack columns; two-sided variable bounds become extra rows.
+func (m *Model) buildStandardForm() (*stdForm, error) {
+	nOrig := len(m.obj)
+	subs := make([]stdSubst, nOrig)
+	nCols := 0
+	type upperRow struct {
+		col int
+		rhs float64
+	}
+	var uppers []upperRow
+	for j := 0; j < nOrig; j++ {
+		lo, hi := m.lo[j], m.hi[j]
+		if lo > hi {
+			return nil, fmt.Errorf("lp: variable %s has empty domain [%g, %g]", m.VarName(VarID(j)), lo, hi)
+		}
+		switch {
+		case !math.IsInf(lo, -1):
+			subs[j] = stdSubst{col1: nCols, col2: -1, shift: lo, sign: 1}
+			nCols++
+			if !math.IsInf(hi, 1) {
+				uppers = append(uppers, upperRow{col: subs[j].col1, rhs: hi - lo})
+			}
+		case !math.IsInf(hi, 1):
+			subs[j] = stdSubst{col1: nCols, col2: -1, shift: hi, sign: -1}
+			nCols++
+		default:
+			subs[j] = stdSubst{col1: nCols, col2: nCols + 1, sign: 1}
+			nCols += 2
+		}
+	}
+	// Columns: substituted variables, then slacks for inequality rows,
+	// then slacks for upper-bound rows.
+	nSlack := 0
+	for _, r := range m.rows {
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	total := nCols + nSlack + len(uppers)
+	mRows := len(m.rows) + len(uppers)
+	sf := &stdForm{
+		mRows: mRows,
+		nCols: total,
+		a:     make([][]float64, mRows),
+		b:     make([]float64, mRows),
+		c:     make([]float64, total),
+		subs:  subs,
+	}
+	for i := range sf.a {
+		sf.a[i] = make([]float64, total)
+	}
+	for j := 0; j < nOrig; j++ {
+		cj := m.obj[j]
+		if m.maximize {
+			cj = -cj
+		}
+		sb := subs[j]
+		sf.c[sb.col1] += cj * sb.sign
+		if sb.col2 >= 0 {
+			sf.c[sb.col2] -= cj
+		}
+	}
+	slack := nCols
+	for i, r := range m.rows {
+		rhs := r.rhs
+		for p, j := range r.idx {
+			v := r.val[p]
+			sb := subs[j]
+			rhs -= v * sb.shift
+			sf.a[i][sb.col1] += v * sb.sign
+			if sb.col2 >= 0 {
+				sf.a[i][sb.col2] -= v
+			}
+		}
+		sf.b[i] = rhs
+		switch r.sense {
+		case LE:
+			sf.a[i][slack] = 1
+			slack++
+		case GE:
+			sf.a[i][slack] = -1
+			slack++
+		}
+	}
+	for k, ur := range uppers {
+		i := len(m.rows) + k
+		sf.a[i][ur.col] = 1
+		sf.a[i][nCols+nSlack+k] = 1
+		sf.b[i] = ur.rhs
+	}
+	return sf, nil
+}
+
+// mehrotra runs the predictor-corrector iteration, returning the primal
+// point and row duals.
+func (sf *stdForm) mehrotra(opt IPMOptions) ([]float64, []float64, error) {
+	mR, n := sf.mRows, sf.nCols
+	if n == 0 {
+		return nil, make([]float64, mR), nil
+	}
+	x := make([]float64, n)
+	z := make([]float64, n)
+	y := make([]float64, mR)
+
+	// Mehrotra starting point from least-squares heuristics.
+	dOnes := make([]float64, n)
+	for j := range dOnes {
+		dOnes[j] = 1
+	}
+	chol, err := sf.factorNormal(dOnes)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lp: ipm starting point: %w", err)
+	}
+	// x~ = Aᵀ (A Aᵀ)⁻¹ b
+	tmp := make([]float64, mR)
+	copy(tmp, sf.b)
+	chol.solve(tmp)
+	sf.mulAT(tmp, x)
+	// y~ = (A Aᵀ)⁻¹ A c ; z~ = c - Aᵀ y~
+	sf.mulA(sf.c, tmp)
+	chol.solve(tmp)
+	copy(y, tmp)
+	at := make([]float64, n)
+	sf.mulAT(y, at)
+	for j := range z {
+		z[j] = sf.c[j] - at[j]
+	}
+	shiftPositive(x)
+	shiftPositive(z)
+
+	bNorm := 1 + norm2(sf.b)
+	cNorm := 1 + norm2(sf.c)
+	rb := make([]float64, mR)
+	rc := make([]float64, n)
+	dxA := make([]float64, n)
+	dzA := make([]float64, n)
+	dyA := make([]float64, mR)
+	dx := make([]float64, n)
+	dz := make([]float64, n)
+	dy := make([]float64, mR)
+	d := make([]float64, n)
+	rhs := make([]float64, mR)
+	v := make([]float64, n)
+
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		// Residuals.
+		sf.mulA(x, rb)
+		for i := range rb {
+			rb[i] -= sf.b[i]
+		}
+		sf.mulAT(y, at)
+		for j := range rc {
+			rc[j] = at[j] + z[j] - sf.c[j]
+		}
+		gap := dot(x, z) / float64(n)
+		obj := dot(sf.c, x)
+		if norm2(rb)/bNorm < opt.Tol && norm2(rc)/cNorm < opt.Tol &&
+			gap*float64(n)/(1+math.Abs(obj)) < opt.Tol {
+			return x, y, nil
+		}
+		// Affine predictor: v = X Z e.
+		for j := range v {
+			v[j] = x[j] * z[j]
+			d[j] = x[j] / z[j]
+		}
+		chol, err = sf.factorNormal(d)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lp: ipm normal equations: %w", err)
+		}
+		sf.newtonSolve(chol, d, rb, rc, v, x, z, dxA, dyA, dzA, rhs, at)
+		alphaP := stepLength(x, dxA)
+		alphaD := stepLength(z, dzA)
+		gapAff := 0.0
+		for j := range x {
+			gapAff += (x[j] + alphaP*dxA[j]) * (z[j] + alphaD*dzA[j])
+		}
+		gapAff /= float64(n)
+		sigma := math.Pow(gapAff/gap, 3)
+		if sigma > 1 {
+			sigma = 1
+		}
+		// Corrector: v = X Z e + dXaff dZaff e - sigma*mu e.
+		mu := gap
+		for j := range v {
+			v[j] = x[j]*z[j] + dxA[j]*dzA[j] - sigma*mu
+		}
+		sf.newtonSolve(chol, d, rb, rc, v, x, z, dx, dy, dz, rhs, at)
+		aP := 0.9995 * stepLength(x, dx)
+		aD := 0.9995 * stepLength(z, dz)
+		if aP > 1 {
+			aP = 1
+		}
+		if aD > 1 {
+			aD = 1
+		}
+		for j := range x {
+			x[j] += aP * dx[j]
+			z[j] += aD * dz[j]
+		}
+		for i := range y {
+			y[i] += aD * dy[i]
+		}
+		if gap > 1e14 || math.IsNaN(gap) {
+			return nil, nil, fmt.Errorf("lp: interior-point diverged (model infeasible or unbounded?)")
+		}
+	}
+	return nil, nil, fmt.Errorf("lp: interior-point did not converge in %d iterations", opt.MaxIterations)
+}
+
+// newtonSolve solves one Newton system given the factorized normal matrix:
+//
+//	A dx = -rb;  Aᵀ dy + dz = -rc;  Z dx + X dz = -v.
+func (sf *stdForm) newtonSolve(chol *cholesky, d, rb, rc, v, x, z, dx, dy, dz, rhs, scratchN []float64) {
+	// rhs = -rb - A (D rc - Z⁻¹ v)
+	for j := range scratchN {
+		scratchN[j] = d[j]*rc[j] - v[j]/z[j]
+	}
+	sf.mulA(scratchN, rhs)
+	for i := range rhs {
+		rhs[i] = -rb[i] - rhs[i]
+	}
+	chol.solve(rhs)
+	copy(dy, rhs)
+	// dx = D (Aᵀ dy + rc) - Z⁻¹ v ... with sign: dx = D(Aᵀdy + rc) - Z⁻¹v
+	sf.mulAT(dy, scratchN)
+	for j := range dx {
+		dx[j] = d[j]*(scratchN[j]+rc[j]) - v[j]/z[j]
+	}
+	// dz = -X⁻¹ (v + Z dx)
+	for j := range dz {
+		dz[j] = -(v[j] + z[j]*dx[j]) / x[j]
+	}
+}
+
+// mulA computes out = A * in (in length n, out length m).
+func (sf *stdForm) mulA(in, out []float64) {
+	for i := 0; i < sf.mRows; i++ {
+		sum := 0.0
+		row := sf.a[i]
+		for j, v := range row {
+			if v != 0 {
+				sum += v * in[j]
+			}
+		}
+		out[i] = sum
+	}
+}
+
+// mulAT computes out = Aᵀ * in (in length m, out length n).
+func (sf *stdForm) mulAT(in, out []float64) {
+	for j := range out {
+		out[j] = 0
+	}
+	for i := 0; i < sf.mRows; i++ {
+		vi := in[i]
+		if vi == 0 {
+			continue
+		}
+		row := sf.a[i]
+		for j, v := range row {
+			if v != 0 {
+				out[j] += v * vi
+			}
+		}
+	}
+}
+
+// factorNormal builds and factors M = A D Aᵀ + ridge I.
+func (sf *stdForm) factorNormal(d []float64) (*cholesky, error) {
+	mR := sf.mRows
+	mat := make([][]float64, mR)
+	for i := range mat {
+		mat[i] = make([]float64, mR)
+	}
+	for i := 0; i < mR; i++ {
+		for k := i; k < mR; k++ {
+			sum := 0.0
+			ri, rk := sf.a[i], sf.a[k]
+			for j := 0; j < sf.nCols; j++ {
+				if ri[j] != 0 && rk[j] != 0 {
+					sum += ri[j] * rk[j] * d[j]
+				}
+			}
+			mat[i][k] = sum
+			mat[k][i] = sum
+		}
+		mat[i][i] += 1e-12 * (1 + mat[i][i])
+	}
+	return newCholesky(mat)
+}
+
+// cholesky is a dense LLᵀ factorization.
+type cholesky struct {
+	n int
+	l [][]float64
+}
+
+func newCholesky(mat [][]float64) (*cholesky, error) {
+	n := len(mat)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := mat[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					// Rank deficiency (redundant rows): lift the pivot.
+					sum = 1e-10
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return &cholesky{n: n, l: l}, nil
+}
+
+// solve overwrites b with M⁻¹ b.
+func (c *cholesky) solve(b []float64) {
+	for i := 0; i < c.n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= c.l[i][k] * b[k]
+		}
+		b[i] = sum / c.l[i][i]
+	}
+	for i := c.n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < c.n; k++ {
+			sum -= c.l[k][i] * b[k]
+		}
+		b[i] = sum / c.l[i][i]
+	}
+}
+
+// shiftPositive applies Mehrotra's shift making a vector safely positive.
+func shiftPositive(v []float64) {
+	minV := math.Inf(1)
+	for _, x := range v {
+		if x < minV {
+			minV = x
+		}
+	}
+	delta := math.Max(-1.5*minV, 0) + 0.1
+	for i := range v {
+		v[i] += delta
+	}
+}
+
+// stepLength returns the largest alpha in (0, 1] with v + alpha*dv >= 0.
+func stepLength(v, dv []float64) float64 {
+	alpha := 1.0
+	for i := range v {
+		if dv[i] < 0 {
+			if a := -v[i] / dv[i]; a < alpha {
+				alpha = a
+			}
+		}
+	}
+	return alpha
+}
+
+func norm2(v []float64) float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+func dot(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}

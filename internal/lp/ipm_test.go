@@ -1,0 +1,207 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIPMSimpleMaximize(t *testing.T) {
+	m := NewModel()
+	m.SetMaximize()
+	x := m.AddVariable(0, pinf(), 3, "x")
+	y := m.AddVariable(0, pinf(), 2, "y")
+	mustCon(t, m, LE, 4, []VarID{x, y}, []float64{1, 1})
+	mustCon(t, m, LE, 2, []VarID{x}, []float64{1})
+	s, err := m.SolveInteriorPoint(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective-10) > 1e-6 {
+		t.Errorf("objective = %v, want 10", s.Objective)
+	}
+	if math.Abs(s.Value(x)-2) > 1e-5 || math.Abs(s.Value(y)-2) > 1e-5 {
+		t.Errorf("x=%v y=%v, want 2, 2", s.Value(x), s.Value(y))
+	}
+}
+
+func TestIPMEqualityAndBounds(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable(0, 10, 1, "x")
+	y := m.AddVariable(1, 8, 2, "y")
+	mustCon(t, m, EQ, 6, []VarID{x, y}, []float64{1, 1})
+	s, err := m.SolveInteriorPoint(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// min x + 2y with x + y = 6, y >= 1 -> x = 5, y = 1, obj = 7.
+	if math.Abs(s.Objective-7) > 1e-6 {
+		t.Errorf("objective = %v, want 7", s.Objective)
+	}
+}
+
+func TestIPMFreeVariable(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable(ninf(), pinf(), 1, "x")
+	mustCon(t, m, GE, -5, []VarID{x}, []float64{1})
+	s, err := m.SolveInteriorPoint(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective+5) > 1e-6 {
+		t.Errorf("objective = %v, want -5", s.Objective)
+	}
+}
+
+func TestIPMUpperBoundedVariable(t *testing.T) {
+	m := NewModel()
+	m.SetMaximize()
+	x := m.AddVariable(0, 1, 1, "x")
+	y := m.AddVariable(0, 2, 1, "y")
+	mustCon(t, m, LE, 2.5, []VarID{x, y}, []float64{1, 1})
+	s, err := m.SolveInteriorPoint(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective-2.5) > 1e-6 {
+		t.Errorf("objective = %v, want 2.5", s.Objective)
+	}
+}
+
+func TestIPMFailsOnPathology(t *testing.T) {
+	// Unbounded: the IPM must return an error, not a wrong answer.
+	m := NewModel()
+	m.SetMaximize()
+	x := m.AddVariable(0, pinf(), 1, "x")
+	y := m.AddVariable(0, pinf(), 0, "y")
+	mustCon(t, m, GE, 1, []VarID{x, y}, []float64{1, 1})
+	if _, err := m.SolveInteriorPoint(&IPMOptions{MaxIterations: 50}); err == nil {
+		t.Error("expected non-convergence error for an unbounded model")
+	}
+}
+
+// TestIPMMatchesSimplexRandom cross-checks the interior-point method
+// against the simplex on random LPs with bounded optima.
+func TestIPMMatchesSimplexRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	agree := 0
+	for trial := 0; trial < 200; trial++ {
+		m := randomModel(rng)
+		sx, err := m.Solve(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sx.Status != Optimal {
+			continue // IPM does not classify infeasible/unbounded
+		}
+		ip, err := m.SolveInteriorPoint(nil)
+		if err != nil {
+			// The IPM may fail on degenerate corner cases; tolerate a few
+			// but count agreement below.
+			continue
+		}
+		diff := math.Abs(sx.Objective - ip.Objective)
+		scale := 1 + math.Max(math.Abs(sx.Objective), math.Abs(ip.Objective))
+		if diff/scale > 1e-5 {
+			t.Fatalf("trial %d: simplex %v != ipm %v", trial, sx.Objective, ip.Objective)
+		}
+		if err := m.Validate(ip.X, 1e-5); err != nil {
+			t.Fatalf("trial %d: ipm point infeasible: %v", trial, err)
+		}
+		agree++
+	}
+	if agree < 60 {
+		t.Fatalf("only %d agreeing optimal instances", agree)
+	}
+}
+
+// TestIPMTransportation solves a structured LP large enough to exercise
+// the normal-equation path meaningfully.
+func TestIPMTransportation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const k = 12
+	m := NewModel()
+	vars := make([][]VarID, k)
+	supply := make([]float64, k)
+	demand := make([]float64, k)
+	total := 0.0
+	for i := 0; i < k; i++ {
+		supply[i] = float64(1 + rng.Intn(20))
+		total += supply[i]
+	}
+	rem := total
+	for j := 0; j < k-1; j++ {
+		demand[j] = math.Floor(rem / float64(k-j))
+		rem -= demand[j]
+	}
+	demand[k-1] = rem
+	for i := 0; i < k; i++ {
+		vars[i] = make([]VarID, k)
+		for j := 0; j < k; j++ {
+			vars[i][j] = m.AddVariable(0, pinf(), float64(1+rng.Intn(9)), "")
+		}
+	}
+	for i := 0; i < k; i++ {
+		idx := make([]VarID, k)
+		val := make([]float64, k)
+		for j := 0; j < k; j++ {
+			idx[j], val[j] = vars[i][j], 1
+		}
+		mustCon(t, m, EQ, supply[i], idx, val)
+	}
+	for j := 0; j < k; j++ {
+		idx := make([]VarID, k)
+		val := make([]float64, k)
+		for i := 0; i < k; i++ {
+			idx[i], val[i] = vars[i][j], 1
+		}
+		mustCon(t, m, EQ, demand[j], idx, val)
+	}
+	sx, err := m.Solve(nil)
+	if err != nil || sx.Status != Optimal {
+		t.Fatalf("simplex failed: %v %v", err, sx.Status)
+	}
+	ip, err := m.SolveInteriorPoint(nil)
+	if err != nil {
+		t.Fatalf("ipm: %v", err)
+	}
+	if math.Abs(sx.Objective-ip.Objective) > 1e-4*(1+sx.Objective) {
+		t.Errorf("simplex %v != ipm %v", sx.Objective, ip.Objective)
+	}
+}
+
+func BenchmarkIPMTransportation(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	const k = 15
+	m := NewModel()
+	for i := 0; i < k*k; i++ {
+		m.AddVariable(0, pinf(), float64(1+rng.Intn(9)), "")
+	}
+	for i := 0; i < k; i++ {
+		idx := make([]VarID, k)
+		val := make([]float64, k)
+		for j := 0; j < k; j++ {
+			idx[j], val[j] = VarID(i*k+j), 1
+		}
+		if _, err := m.AddConstraint(EQ, 10, idx, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for j := 0; j < k; j++ {
+		idx := make([]VarID, k)
+		val := make([]float64, k)
+		for i := 0; i < k; i++ {
+			idx[i], val[i] = VarID(i*k+j), 1
+		}
+		if _, err := m.AddConstraint(EQ, 10, idx, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SolveInteriorPoint(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

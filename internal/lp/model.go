@@ -1,0 +1,271 @@
+// Package lp provides linear-programming modeling and solving with no
+// dependencies outside the standard library. It exists because Postcard's
+// per-slot optimization (and both of the paper's baselines) are linear
+// programs, and the Go ecosystem offers no stdlib LP support.
+//
+// The package contains two independent solvers:
+//
+//   - Solve: a sparse bounded-variable revised simplex (two-phase, LU basis
+//     factorization with eta updates) that scales to the time-expanded
+//     graphs of the paper's evaluation, and
+//   - SolveDense: a compact dense tableau simplex kept as an independent
+//     reference implementation for cross-checking.
+//
+// Models are built incrementally with AddVariable and AddConstraint and are
+// immutable during Solve. Variables carry lower/upper bounds (use
+// math.Inf(±1) for unbounded) and objective coefficients.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the relational sense of a linear constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota + 1 // a·x ≤ rhs
+	GE                  // a·x ≥ rhs
+	EQ                  // a·x = rhs
+)
+
+// String renders the sense as its mathematical symbol.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal    Status = iota + 1 // an optimal solution was found
+	Infeasible                   // no point satisfies all constraints
+	Unbounded                    // the objective is unbounded over the feasible set
+	IterLimit                    // the iteration budget was exhausted
+)
+
+// String renders the status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// VarID identifies a variable within a Model.
+type VarID int
+
+// ConID identifies a constraint within a Model.
+type ConID int
+
+type row struct {
+	idx   []int
+	val   []float64
+	sense Sense
+	rhs   float64
+}
+
+// Model is a linear program under construction. The zero value is an empty
+// minimization model ready for use.
+type Model struct {
+	maximize bool
+	obj      []float64
+	lo       []float64
+	hi       []float64
+	names    []string
+	rows     []row
+}
+
+// NewModel returns an empty minimization model.
+func NewModel() *Model { return &Model{} }
+
+// SetMaximize switches the objective direction to maximization.
+func (m *Model) SetMaximize() { m.maximize = true }
+
+// NumVariables reports the number of variables added so far.
+func (m *Model) NumVariables() int { return len(m.obj) }
+
+// NumConstraints reports the number of constraints added so far.
+func (m *Model) NumConstraints() int { return len(m.rows) }
+
+// AddVariable adds a variable with bounds [lo, hi] and the given objective
+// coefficient, returning its identifier. Use math.Inf(-1) and math.Inf(1)
+// for free directions. name is used only in diagnostics and may be empty.
+func (m *Model) AddVariable(lo, hi, obj float64, name string) VarID {
+	m.lo = append(m.lo, lo)
+	m.hi = append(m.hi, hi)
+	m.obj = append(m.obj, obj)
+	m.names = append(m.names, name)
+	return VarID(len(m.obj) - 1)
+}
+
+// VarName reports the diagnostic name of v, or "x<id>" when none was given.
+func (m *Model) VarName(v VarID) string {
+	if int(v) < len(m.names) && m.names[v] != "" {
+		return m.names[v]
+	}
+	return fmt.Sprintf("x%d", int(v))
+}
+
+// AddConstraint adds the linear constraint sum(val[i]*x[idx[i]]) sense rhs.
+// The idx/val slices are copied. Duplicate variable references within one
+// constraint are summed. It returns an error for malformed input.
+func (m *Model) AddConstraint(sense Sense, rhs float64, idx []VarID, val []float64) (ConID, error) {
+	if len(idx) != len(val) {
+		return 0, fmt.Errorf("lp: constraint has %d indices but %d values", len(idx), len(val))
+	}
+	if sense != LE && sense != GE && sense != EQ {
+		return 0, fmt.Errorf("lp: invalid sense %v", sense)
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return 0, fmt.Errorf("lp: invalid rhs %v", rhs)
+	}
+	merged := make(map[int]float64, len(idx))
+	for i, v := range idx {
+		if int(v) < 0 || int(v) >= len(m.obj) {
+			return 0, fmt.Errorf("lp: constraint references unknown variable %d", int(v))
+		}
+		if math.IsNaN(val[i]) || math.IsInf(val[i], 0) {
+			return 0, fmt.Errorf("lp: invalid coefficient %v for variable %d", val[i], int(v))
+		}
+		merged[int(v)] += val[i]
+	}
+	r := row{sense: sense, rhs: rhs, idx: make([]int, 0, len(merged)), val: make([]float64, 0, len(merged))}
+	for _, v := range idx { // preserve first-mention order deterministically
+		j := int(v)
+		coef, ok := merged[j]
+		if !ok {
+			continue
+		}
+		delete(merged, j)
+		r.idx = append(r.idx, j)
+		r.val = append(r.val, coef)
+	}
+	m.rows = append(m.rows, r)
+	return ConID(len(m.rows) - 1), nil
+}
+
+// Solution is the result of solving a Model.
+type Solution struct {
+	Status     Status
+	Objective  float64   // objective value in the model's own direction
+	X          []float64 // primal values, one per variable
+	Dual       []float64 // dual values, one per constraint (minimization sign convention)
+	ReducedObj []float64 // reduced costs, one per variable (minimization sign convention)
+	Iterations int       // simplex iterations performed across both phases
+	Phase1Iter int       // iterations spent reaching feasibility
+	Factorized int       // number of basis refactorizations
+}
+
+// Value reports the primal value of v.
+func (s *Solution) Value(v VarID) float64 { return s.X[v] }
+
+// Options controls the simplex solver. The zero value selects defaults.
+type Options struct {
+	MaxIterations int     // default 50000 + 20*(rows+cols)
+	FeasTol       float64 // primal feasibility tolerance, default 1e-7
+	OptTol        float64 // dual feasibility (optimality) tolerance, default 1e-7
+	PivotTol      float64 // minimum acceptable pivot magnitude, default 1e-8
+	RefactorEvery int     // eta updates between refactorizations, default 64
+	// Perturb is the relative magnitude of the deterministic cost
+	// perturbation applied to fight degeneracy (network LPs stall badly
+	// without it). The reported objective always uses the unperturbed
+	// costs. Default 1e-7; set negative to disable.
+	Perturb float64
+}
+
+func (o *Options) withDefaults(rows, cols int) Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.MaxIterations <= 0 {
+		out.MaxIterations = 50000 + 20*(rows+cols)
+	}
+	if out.FeasTol <= 0 {
+		out.FeasTol = 1e-7
+	}
+	if out.OptTol <= 0 {
+		out.OptTol = 1e-7
+	}
+	if out.PivotTol <= 0 {
+		out.PivotTol = 1e-8
+	}
+	if out.RefactorEvery <= 0 {
+		out.RefactorEvery = 64
+	}
+	if out.Perturb == 0 {
+		out.Perturb = 1e-7
+	}
+	if out.Perturb < 0 {
+		out.Perturb = 0
+	}
+	return out
+}
+
+// Validate checks a primal point for feasibility against the model within
+// tol, returning a descriptive error for the first violation found. It is
+// used by tests and by schedule verifiers.
+func (m *Model) Validate(x []float64, tol float64) error {
+	if len(x) != len(m.obj) {
+		return fmt.Errorf("lp: point has %d values for %d variables", len(x), len(m.obj))
+	}
+	for j := range x {
+		if x[j] < m.lo[j]-tol || x[j] > m.hi[j]+tol {
+			return fmt.Errorf("lp: variable %s = %g outside bounds [%g, %g]",
+				m.VarName(VarID(j)), x[j], m.lo[j], m.hi[j])
+		}
+	}
+	for i, r := range m.rows {
+		lhs := 0.0
+		for p, j := range r.idx {
+			lhs += r.val[p] * x[j]
+		}
+		scale := 1.0 + math.Abs(r.rhs)
+		switch r.sense {
+		case LE:
+			if lhs > r.rhs+tol*scale {
+				return fmt.Errorf("lp: constraint %d violated: %g <= %g", i, lhs, r.rhs)
+			}
+		case GE:
+			if lhs < r.rhs-tol*scale {
+				return fmt.Errorf("lp: constraint %d violated: %g >= %g", i, lhs, r.rhs)
+			}
+		case EQ:
+			if math.Abs(lhs-r.rhs) > tol*scale {
+				return fmt.Errorf("lp: constraint %d violated: %g = %g", i, lhs, r.rhs)
+			}
+		}
+	}
+	return nil
+}
+
+// ObjectiveValue evaluates the model's objective at x in the model's own
+// optimization direction.
+func (m *Model) ObjectiveValue(x []float64) float64 {
+	v := 0.0
+	for j, c := range m.obj {
+		v += c * x[j]
+	}
+	return v
+}

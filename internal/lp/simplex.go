@@ -1,0 +1,886 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/interdc/postcard/internal/lp/sparse"
+)
+
+// Variable status within the simplex.
+type vstatus byte
+
+const (
+	vBasic vstatus = iota + 1
+	vAtLower
+	vAtUpper
+	vFree // nonbasic free variable resting at zero
+)
+
+// compForm is the computational form of a model: min c·x subject to
+// A·x = b, lo ≤ x ≤ hi, where A includes one logical (slack) column per row
+// appended after the n structural columns.
+type compForm struct {
+	m, n int // rows, structural columns; A has n+m columns
+	a    *sparse.Matrix
+	b    []float64
+	c    []float64 // minimization costs used for pivoting (perturbed)
+	c0   []float64 // original minimization costs, for objective reporting
+	lo   []float64
+	hi   []float64
+}
+
+// perturb adds a deterministic pseudo-random tiny amount to every cost to
+// break the massive dual degeneracy of network LPs. The original costs are
+// kept in c0 for reporting.
+func (cf *compForm) perturb(scale float64) {
+	cf.c0 = append([]float64(nil), cf.c...)
+	if scale <= 0 {
+		return
+	}
+	for j := range cf.c {
+		h := uint64(j)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+		h ^= h >> 30
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+		u := float64(h>>11) / float64(1<<53) // in [0, 1)
+		cf.c[j] += scale * (0.5 + u) * (1 + math.Abs(cf.c[j]))
+	}
+}
+
+// buildCompForm converts the model into computational form. Maximization is
+// handled by negating costs; Solve flips the objective value back.
+func (m *Model) buildCompForm() (*compForm, error) {
+	nRows, nCols := len(m.rows), len(m.obj)
+	for j := 0; j < nCols; j++ {
+		if m.lo[j] > m.hi[j] {
+			return nil, fmt.Errorf("lp: variable %s has empty domain [%g, %g]",
+				m.VarName(VarID(j)), m.lo[j], m.hi[j])
+		}
+	}
+	nnz := 0
+	for _, r := range m.rows {
+		nnz += len(r.idx)
+	}
+	trip := make([]sparse.Triplet, 0, nnz+nRows)
+	cf := &compForm{
+		m:  nRows,
+		n:  nCols,
+		b:  make([]float64, nRows),
+		c:  make([]float64, nCols+nRows),
+		lo: make([]float64, nCols+nRows),
+		hi: make([]float64, nCols+nRows),
+	}
+	copy(cf.lo, m.lo)
+	copy(cf.hi, m.hi)
+	for j, c := range m.obj {
+		if m.maximize {
+			cf.c[j] = -c
+		} else {
+			cf.c[j] = c
+		}
+	}
+	for i, r := range m.rows {
+		cf.b[i] = r.rhs
+		for p, j := range r.idx {
+			trip = append(trip, sparse.Triplet{Row: i, Col: j, Val: r.val[p]})
+		}
+		lj := nCols + i
+		trip = append(trip, sparse.Triplet{Row: i, Col: lj, Val: 1})
+		switch r.sense {
+		case LE:
+			cf.lo[lj], cf.hi[lj] = 0, math.Inf(1)
+		case GE:
+			cf.lo[lj], cf.hi[lj] = math.Inf(-1), 0
+		case EQ:
+			cf.lo[lj], cf.hi[lj] = 0, 0
+		}
+	}
+	a, err := sparse.NewFromTriplets(nRows, nCols+nRows, trip)
+	if err != nil {
+		return nil, fmt.Errorf("lp: building constraint matrix: %w", err)
+	}
+	cf.a = a
+	return cf, nil
+}
+
+type eta struct {
+	idx   []int // rows of the update column, pivot row excluded
+	val   []float64
+	r     int     // pivot row
+	pivot float64 // update column's pivot-row entry
+}
+
+// simplex holds the mutable state of one revised-simplex solve.
+type simplex struct {
+	cf  *compForm
+	opt Options
+
+	basis []int     // basic variable per row position
+	vstat []vstatus // per variable
+	xB    []float64 // values of basic variables by row position
+
+	lu   *sparse.LU
+	etas []eta
+
+	// dense workspaces, all of length m
+	w       []float64 // FTRAN result (entering column in basis coordinates)
+	y       []float64 // BTRAN result (simplex multipliers)
+	cB      []float64 // basic cost vector for BTRAN
+	scratch []float64
+	rhs     []float64
+
+	iters       int
+	phase1Iters int
+	factorCount int
+	bland       bool
+	stallCount  int
+	goodSteps   int // consecutive non-degenerate steps while in Bland mode
+	pricePos    int // rotating cursor for partial pricing
+}
+
+// nbValue reports the resting value of nonbasic variable j.
+func (s *simplex) nbValue(j int) float64 {
+	switch s.vstat[j] {
+	case vAtLower:
+		return s.cf.lo[j]
+	case vAtUpper:
+		return s.cf.hi[j]
+	default:
+		return 0
+	}
+}
+
+// refactorize rebuilds the LU factorization of the current basis, applies
+// any singularity repairs to the basis bookkeeping, clears the eta file,
+// and recomputes basic variable values from scratch.
+func (s *simplex) refactorize() error {
+	cols := func(k int) ([]int, []float64) {
+		return s.cf.a.ColumnSlices(s.basis[k])
+	}
+	lu, err := sparse.Factorize(s.cf.m, cols, s.opt.PivotTol*1e-2)
+	if err != nil {
+		return fmt.Errorf("lp: basis factorization: %w", err)
+	}
+	for _, rep := range lu.Repairs() {
+		evicted := s.basis[rep.Pos]
+		logical := s.cf.n + rep.Row
+		if evicted == logical {
+			continue
+		}
+		// Park the evicted variable at its nearest finite bound.
+		switch {
+		case !math.IsInf(s.cf.lo[evicted], -1):
+			s.vstat[evicted] = vAtLower
+		case !math.IsInf(s.cf.hi[evicted], 1):
+			s.vstat[evicted] = vAtUpper
+		default:
+			s.vstat[evicted] = vFree
+		}
+		// The logical may have been nonbasic elsewhere; it becomes basic here.
+		s.vstat[logical] = vBasic
+		s.basis[rep.Pos] = logical
+	}
+	s.lu = lu
+	s.etas = s.etas[:0]
+	s.factorCount++
+	s.computeXB()
+	return nil
+}
+
+// computeXB recomputes xB = B⁻¹ (b - N·x_N) from scratch.
+func (s *simplex) computeXB() {
+	copy(s.rhs, s.cf.b)
+	total := s.cf.n + s.cf.m
+	for j := 0; j < total; j++ {
+		if s.vstat[j] == vBasic {
+			continue
+		}
+		xj := s.nbValue(j)
+		if xj == 0 {
+			continue
+		}
+		s.cf.a.Column(j, func(row int, val float64) {
+			s.rhs[row] -= val * xj
+		})
+	}
+	s.lu.Solve(s.rhs, s.xB, s.scratch)
+	for _, e := range s.etas {
+		applyEtaForward(e, s.xB)
+	}
+}
+
+func applyEtaForward(e eta, x []float64) {
+	xr := x[e.r] / e.pivot
+	if xr == 0 {
+		x[e.r] = 0
+		return
+	}
+	x[e.r] = xr
+	for p, i := range e.idx {
+		x[i] -= e.val[p] * xr
+	}
+}
+
+func applyEtaTranspose(e eta, y []float64) {
+	sum := 0.0
+	for p, i := range e.idx {
+		sum += e.val[p] * y[i]
+	}
+	y[e.r] = (y[e.r] - sum) / e.pivot
+}
+
+// ftran computes w = B⁻¹ a_q for structural-or-logical column q.
+func (s *simplex) ftran(q int) {
+	for i := range s.rhs {
+		s.rhs[i] = 0
+	}
+	s.cf.a.Column(q, func(row int, val float64) { s.rhs[row] = val })
+	s.lu.Solve(s.rhs, s.w, s.scratch)
+	for i := range s.etas {
+		applyEtaForward(s.etas[i], s.w)
+	}
+}
+
+// btran computes y = B⁻ᵀ cB.
+func (s *simplex) btran() {
+	copy(s.rhs, s.cB)
+	for i := len(s.etas) - 1; i >= 0; i-- {
+		applyEtaTranspose(s.etas[i], s.rhs)
+	}
+	s.lu.SolveT(s.rhs, s.y, s.scratch)
+}
+
+// reducedCost computes d_j = c_j - y·a_j with the supplied cost of j.
+func (s *simplex) reducedCost(j int, cj float64) float64 {
+	d := cj
+	s.cf.a.Column(j, func(row int, val float64) { d -= val * s.y[row] })
+	return d
+}
+
+// candidate evaluates nonbasic variable j for entry, returning its reduced
+// cost and movement direction when it can improve the (phase-dependent)
+// objective.
+func (s *simplex) candidate(j int, phase1 bool) (d, dir float64, ok bool) {
+	st := s.vstat[j]
+	if st == vBasic || s.cf.lo[j] == s.cf.hi[j] {
+		return 0, 0, false
+	}
+	cj := 0.0
+	if !phase1 {
+		cj = s.cf.c[j]
+	}
+	d = s.reducedCost(j, cj)
+	switch st {
+	case vAtLower:
+		if d < -s.opt.OptTol {
+			return d, 1, true
+		}
+	case vAtUpper:
+		if d > s.opt.OptTol {
+			return d, -1, true
+		}
+	case vFree:
+		if d < -s.opt.OptTol {
+			return d, 1, true
+		}
+		if d > s.opt.OptTol {
+			return d, -1, true
+		}
+	}
+	return 0, 0, false
+}
+
+// price selects an entering variable. phase1 selects against the implicit
+// infeasibility costs (zero for all nonbasic variables); phase 2 uses true
+// costs. It returns the variable, its reduced cost, and the movement
+// direction (+1 increase, -1 decrease), or q == -1 at optimality.
+//
+// The normal mode uses partial (rotating-window Dantzig) pricing: columns
+// are scanned from a rotating cursor and the best candidate within a window
+// is taken; the full wrap-around scan only happens near optimality. Bland
+// mode scans from index zero and takes the first candidate, as the
+// anti-cycling rule requires.
+func (s *simplex) price(phase1 bool) (q int, dq, dir float64) {
+	q = -1
+	total := s.cf.n + s.cf.m
+	if s.bland {
+		for j := 0; j < total; j++ {
+			if d, cdir, ok := s.candidate(j, phase1); ok {
+				return j, d, cdir
+			}
+		}
+		return -1, 0, 0
+	}
+	window := total/8 + 50
+	best := s.opt.OptTol
+	for scanned := 0; scanned < total; scanned++ {
+		j := s.pricePos
+		s.pricePos++
+		if s.pricePos >= total {
+			s.pricePos = 0
+		}
+		if d, cdir, ok := s.candidate(j, phase1); ok {
+			if a := math.Abs(d); a > best {
+				best, q, dq, dir = a, j, d, cdir
+			}
+		}
+		if q >= 0 && scanned >= window {
+			break
+		}
+	}
+	return q, dq, dir
+}
+
+// ratioResult describes the outcome of a ratio test.
+type ratioResult struct {
+	t       float64 // step length
+	r       int     // leaving row position, or -1 for a bound flip
+	leaveAt vstatus // bound at which the leaving variable rests
+	flip    bool    // entering variable moved to its opposite bound
+	unbound bool    // no blocking constraint exists
+}
+
+// ratioTest determines how far the entering variable q can move in
+// direction dir.
+//
+// Phase 2 (feasible, non-Bland) uses a Harris-style two-pass test: pass one
+// computes the maximum step with all bounds relaxed by the feasibility
+// tolerance; pass two picks, among the rows whose strict ratio fits within
+// that step, the one with the largest pivot magnitude. Tolerating
+// tolerance-sized bound violations in exchange for large pivots is what
+// keeps the eta file numerically stable on degenerate network LPs.
+//
+// Phase 1 and Bland mode use the classic smallest-ratio test; in phase 1,
+// basic variables that are currently infeasible block only when they reach
+// the bound they violate (at which point they become feasible).
+func (s *simplex) ratioTest(q int, dir float64, phase1 bool) ratioResult {
+	if !phase1 && !s.bland {
+		return s.ratioTestHarris(q, dir)
+	}
+	res := ratioResult{t: math.Inf(1), r: -1}
+	ftol := s.opt.FeasTol
+	// Bound flip of the entering variable itself.
+	if !math.IsInf(s.cf.lo[q], -1) && !math.IsInf(s.cf.hi[q], 1) {
+		res.t = s.cf.hi[q] - s.cf.lo[q]
+		res.flip = true
+	}
+	bestPivot := 0.0
+	for p := 0; p < s.cf.m; p++ {
+		wp := s.w[p]
+		if math.Abs(wp) < s.opt.PivotTol {
+			continue
+		}
+		delta := -dir * wp // rate of change of xB[p] per unit step
+		bj := s.basis[p]
+		xj, loj, hij := s.xB[p], s.cf.lo[bj], s.cf.hi[bj]
+		var tp float64
+		var at vstatus
+		switch {
+		case phase1 && xj < loj-ftol:
+			if delta <= 0 {
+				continue // moving further below: no block in phase 1
+			}
+			tp, at = (loj-xj)/delta, vAtLower
+		case phase1 && xj > hij+ftol:
+			if delta >= 0 {
+				continue
+			}
+			tp, at = (hij-xj)/delta, vAtUpper
+		case delta < 0:
+			if math.IsInf(loj, -1) {
+				continue
+			}
+			tp, at = (xj-loj)/(-delta), vAtLower
+		case delta > 0:
+			if math.IsInf(hij, 1) {
+				continue
+			}
+			tp, at = (hij-xj)/delta, vAtUpper
+		default:
+			continue
+		}
+		if tp < 1e-9 {
+			// Clamp tiny ratios to an exact zero so degenerate ties are
+			// recognized as ties; Bland's rule needs this to terminate.
+			tp = 0
+		}
+		better := false
+		switch {
+		case tp < res.t-1e-12:
+			better = true
+		case tp <= res.t+1e-12 && res.r >= 0:
+			if s.bland {
+				better = bj < s.basis[res.r]
+			} else {
+				better = math.Abs(wp) > bestPivot
+			}
+		case tp <= res.t+1e-12 && res.flip:
+			better = true // prefer a pivot over a flip at equal length
+		}
+		if better {
+			res.t, res.r, res.leaveAt, res.flip = tp, p, at, false
+			bestPivot = math.Abs(wp)
+		}
+	}
+	if math.IsInf(res.t, 1) {
+		res.unbound = true
+	}
+	return res
+}
+
+// ratioTestHarris is the two-pass phase-2 ratio test described at ratioTest.
+func (s *simplex) ratioTestHarris(q int, dir float64) ratioResult {
+	ftol := s.opt.FeasTol
+	// Pass 1: maximum step with bounds relaxed by ftol.
+	tmax := math.Inf(1)
+	for p := 0; p < s.cf.m; p++ {
+		wp := s.w[p]
+		if math.Abs(wp) < s.opt.PivotTol {
+			continue
+		}
+		delta := -dir * wp
+		bj := s.basis[p]
+		xj, loj, hij := s.xB[p], s.cf.lo[bj], s.cf.hi[bj]
+		var tp float64
+		switch {
+		case delta < 0:
+			if math.IsInf(loj, -1) {
+				continue
+			}
+			tp = (xj - loj + ftol) / (-delta)
+		default:
+			if math.IsInf(hij, 1) {
+				continue
+			}
+			tp = (hij + ftol - xj) / delta
+		}
+		if tp < tmax {
+			tmax = tp
+		}
+	}
+	// Bound flip of the entering variable: exact, preferred when shortest.
+	if !math.IsInf(s.cf.lo[q], -1) && !math.IsInf(s.cf.hi[q], 1) {
+		if flipT := s.cf.hi[q] - s.cf.lo[q]; flipT <= tmax {
+			return ratioResult{t: flipT, r: -1, flip: true}
+		}
+	}
+	if math.IsInf(tmax, 1) {
+		return ratioResult{t: tmax, r: -1, unbound: true}
+	}
+	// Pass 2: largest pivot among rows whose strict ratio fits in tmax.
+	res := ratioResult{t: 0, r: -1}
+	bestPivot := 0.0
+	for p := 0; p < s.cf.m; p++ {
+		wp := s.w[p]
+		if math.Abs(wp) < s.opt.PivotTol {
+			continue
+		}
+		delta := -dir * wp
+		bj := s.basis[p]
+		xj, loj, hij := s.xB[p], s.cf.lo[bj], s.cf.hi[bj]
+		var tp float64
+		var at vstatus
+		switch {
+		case delta < 0:
+			if math.IsInf(loj, -1) {
+				continue
+			}
+			tp, at = (xj-loj)/(-delta), vAtLower
+		default:
+			if math.IsInf(hij, 1) {
+				continue
+			}
+			tp, at = (hij-xj)/delta, vAtUpper
+		}
+		if tp < 0 {
+			tp = 0
+		}
+		if tp <= tmax && math.Abs(wp) > bestPivot {
+			bestPivot = math.Abs(wp)
+			res.t, res.r, res.leaveAt = tp, p, at
+		}
+	}
+	if res.r >= 0 {
+		// EXPAND-style minimum step: force strictly positive progress by
+		// letting the leaving variable overshoot its bound by at most
+		// ftol/2 (all other rows stay within ftol by the pass-1 bound).
+		// Degenerate zero-length pivots are what make network LPs stall.
+		if minStep := 0.5 * ftol / bestPivot; res.t < minStep {
+			if minStep > tmax {
+				minStep = tmax
+			}
+			if res.t < minStep {
+				res.t = minStep
+			}
+		}
+	}
+	if res.r < 0 {
+		// Every candidate's strict ratio exceeded tmax (can only happen
+		// through rounding); fall back to the smallest strict ratio.
+		for p := 0; p < s.cf.m; p++ {
+			wp := s.w[p]
+			if math.Abs(wp) < s.opt.PivotTol {
+				continue
+			}
+			delta := -dir * wp
+			bj := s.basis[p]
+			xj, loj, hij := s.xB[p], s.cf.lo[bj], s.cf.hi[bj]
+			var tp float64
+			var at vstatus
+			switch {
+			case delta < 0:
+				if math.IsInf(loj, -1) {
+					continue
+				}
+				tp, at = (xj-loj)/(-delta), vAtLower
+			default:
+				if math.IsInf(hij, 1) {
+					continue
+				}
+				tp, at = (hij-xj)/delta, vAtUpper
+			}
+			if tp < 0 {
+				tp = 0
+			}
+			if res.r < 0 || tp < res.t {
+				res.t, res.r, res.leaveAt = tp, p, at
+			}
+		}
+		if res.r < 0 {
+			return ratioResult{t: math.Inf(1), r: -1, unbound: true}
+		}
+	}
+	return res
+}
+
+// pivot applies the step chosen by the ratio test.
+func (s *simplex) pivot(q int, dir float64, res ratioResult) error {
+	t := res.t
+	enterVal := s.nbValue(q) // capture before any status change
+	// Move all basic variables along the direction.
+	if t != 0 {
+		for p := 0; p < s.cf.m; p++ {
+			if s.w[p] != 0 {
+				s.xB[p] -= dir * s.w[p] * t
+			}
+		}
+	}
+	if res.flip {
+		if s.vstat[q] == vAtLower {
+			s.vstat[q] = vAtUpper
+		} else {
+			s.vstat[q] = vAtLower
+		}
+		return nil
+	}
+	r := res.r
+	leaving := s.basis[r]
+	s.vstat[leaving] = res.leaveAt
+	s.vstat[q] = vBasic
+	s.basis[r] = q
+	s.xB[r] = enterVal + dir*t
+	// Record the eta transformation for subsequent FTRAN/BTRAN.
+	e := eta{r: r, pivot: s.w[r]}
+	for i, wi := range s.w {
+		if i != r && wi != 0 {
+			e.idx = append(e.idx, i)
+			e.val = append(e.val, wi)
+		}
+	}
+	s.etas = append(s.etas, e)
+	if len(s.etas) >= s.opt.RefactorEvery {
+		return s.refactorize()
+	}
+	return nil
+}
+
+// infeasibility reports the total bound violation of the basic variables.
+func (s *simplex) infeasibility() float64 {
+	sum := 0.0
+	for p := 0; p < s.cf.m; p++ {
+		bj := s.basis[p]
+		if v := s.cf.lo[bj] - s.xB[p]; v > 0 {
+			sum += v
+		}
+		if v := s.xB[p] - s.cf.hi[bj]; v > 0 {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// phase1Costs fills cB with the gradient of the infeasibility sum.
+func (s *simplex) phase1Costs() {
+	ftol := s.opt.FeasTol
+	for p := 0; p < s.cf.m; p++ {
+		bj := s.basis[p]
+		switch {
+		case s.xB[p] < s.cf.lo[bj]-ftol:
+			s.cB[p] = -1
+		case s.xB[p] > s.cf.hi[bj]+ftol:
+			s.cB[p] = 1
+		default:
+			s.cB[p] = 0
+		}
+	}
+}
+
+// noteStep updates anti-cycling state after a step of length t. Bland mode
+// engages after a long degenerate stall and disengages only after a run of
+// genuinely progressing steps, so a stall-progress-stall oscillation cannot
+// defeat it.
+func (s *simplex) noteStep(t float64) {
+	if t <= 1e-10 {
+		s.stallCount++
+		s.goodSteps = 0
+		if s.stallCount > 300 {
+			s.bland = true
+		}
+		return
+	}
+	if s.bland {
+		s.goodSteps++
+		if s.goodSteps >= 20 {
+			s.bland = false
+			s.stallCount = 0
+			s.goodSteps = 0
+		}
+		return
+	}
+	s.stallCount = 0
+}
+
+// Solve optimizes the model with the sparse revised simplex and returns the
+// solution. The model is not modified. Status is always set on the returned
+// Solution when err is nil.
+func (m *Model) Solve(opts *Options) (*Solution, error) {
+	cf, err := m.buildCompForm()
+	if err != nil {
+		return nil, err
+	}
+	opt := opts.withDefaults(cf.m, cf.n)
+	cf.perturb(opt.Perturb)
+	s := &simplex{
+		cf:      cf,
+		opt:     opt,
+		basis:   make([]int, cf.m),
+		vstat:   make([]vstatus, cf.n+cf.m),
+		xB:      make([]float64, cf.m),
+		w:       make([]float64, cf.m),
+		y:       make([]float64, cf.m),
+		cB:      make([]float64, cf.m),
+		scratch: make([]float64, cf.m),
+		rhs:     make([]float64, cf.m),
+	}
+	// Start from the all-logical basis; structurals rest at a finite bound.
+	for j := 0; j < cf.n; j++ {
+		switch {
+		case !math.IsInf(cf.lo[j], -1):
+			s.vstat[j] = vAtLower
+		case !math.IsInf(cf.hi[j], 1):
+			s.vstat[j] = vAtUpper
+		default:
+			s.vstat[j] = vFree
+		}
+	}
+	for i := 0; i < cf.m; i++ {
+		s.basis[i] = cf.n + i
+		s.vstat[cf.n+i] = vBasic
+	}
+	if err := s.refactorize(); err != nil {
+		return nil, err
+	}
+
+	status, err := s.run()
+	if err != nil {
+		return nil, err
+	}
+	return s.solution(m, status), nil
+}
+
+// run executes both simplex phases and returns the final status. Phase 2
+// re-enters phase 1 when accumulated rounding pushes basic variables
+// materially outside their bounds (bounded number of times, as a safety
+// net against numerical wandering).
+func (s *simplex) run() (Status, error) {
+	const maxPhaseRestarts = 25
+	restarts := 0
+	for {
+		st, done, err := s.runPhase1()
+		if err != nil || done {
+			return st, err
+		}
+		st, done, err = s.runPhase2()
+		if err != nil || done {
+			return st, err
+		}
+		// Phase 2 detected drift; go around again.
+		restarts++
+		if restarts > maxPhaseRestarts {
+			return IterLimit, nil
+		}
+	}
+}
+
+// runPhase1 drives out primal infeasibility. done is false only when the
+// caller should proceed to phase 2. Infeasibility is only ever declared
+// from the dual criterion (no improving direction); numerical drift
+// discovered after a refactorization sends the loop back to pivoting.
+func (s *simplex) runPhase1() (Status, bool, error) {
+	exitTol := s.opt.FeasTol * float64(1+s.cf.m)
+	for {
+		if s.iters >= s.opt.MaxIterations {
+			return IterLimit, true, nil
+		}
+		if s.infeasibility() <= exitTol {
+			// Clean up drift and confirm on honestly recomputed values.
+			if err := s.refactorize(); err != nil {
+				return 0, true, err
+			}
+			if s.infeasibility() <= 2*exitTol {
+				break
+			}
+			continue // drift was hiding real infeasibility: keep pivoting
+		}
+		s.phase1Costs()
+		s.btran()
+		q, _, dir := s.price(true)
+		if q < 0 {
+			// No improving direction: the dual certificate of phase-1
+			// optimality. Recompute honestly before concluding.
+			if err := s.refactorize(); err != nil {
+				return 0, true, err
+			}
+			if s.infeasibility() > 2*exitTol {
+				return Infeasible, true, nil
+			}
+			break
+		}
+		s.ftran(q)
+		res := s.ratioTest(q, dir, true)
+		if res.unbound {
+			// A descent direction for a nonnegative objective cannot be
+			// unbounded; treat as numerical breakdown and refactorize once.
+			if err := s.refactorize(); err != nil {
+				return 0, true, err
+			}
+			if res2 := s.ratioTest(q, dir, true); !res2.unbound {
+				res = res2
+			} else {
+				return 0, true, fmt.Errorf("lp: phase-1 ratio test found no blocking bound")
+			}
+		}
+		if err := s.pivot(q, dir, res); err != nil {
+			return 0, true, err
+		}
+		s.noteStep(res.t)
+		s.iters++
+		s.phase1Iters++
+	}
+	s.bland, s.stallCount, s.goodSteps = false, 0, 0
+	return 0, false, nil
+}
+
+// runPhase2 optimizes the true costs. done is false only when feasibility
+// drifted beyond tolerance and phase 1 must be re-entered.
+func (s *simplex) runPhase2() (Status, bool, error) {
+	driftLimit := math.Sqrt(s.opt.FeasTol) * float64(1+s.cf.m)
+	for {
+		if s.iters >= s.opt.MaxIterations {
+			return IterLimit, true, nil
+		}
+		if s.iters%16 == 0 && s.infeasibility() > driftLimit {
+			if err := s.refactorize(); err != nil {
+				return 0, true, err
+			}
+			if s.infeasibility() > driftLimit {
+				return 0, false, nil // genuinely drifted: redo phase 1
+			}
+		}
+		for p := 0; p < s.cf.m; p++ {
+			s.cB[p] = s.cf.c[s.basis[p]]
+		}
+		s.btran()
+		q, _, dir := s.price(false)
+		if q < 0 {
+			return Optimal, true, nil
+		}
+		s.ftran(q)
+		res := s.ratioTest(q, dir, false)
+		if res.unbound {
+			return Unbounded, true, nil
+		}
+		if err := s.pivot(q, dir, res); err != nil {
+			return 0, true, err
+		}
+		s.noteStep(res.t)
+		s.iters++
+	}
+}
+
+// solution extracts a Solution in the original model's terms.
+func (s *simplex) solution(m *Model, status Status) *Solution {
+	sol := &Solution{
+		Status:     status,
+		X:          make([]float64, s.cf.n),
+		Dual:       make([]float64, s.cf.m),
+		ReducedObj: make([]float64, s.cf.n),
+		Iterations: s.iters,
+		Phase1Iter: s.phase1Iters,
+		Factorized: s.factorCount,
+	}
+	if status != Optimal && status != IterLimit {
+		return sol
+	}
+	for j := 0; j < s.cf.n; j++ {
+		if s.vstat[j] != vBasic {
+			sol.X[j] = s.nbValue(j)
+		}
+	}
+	for p, bj := range s.basis {
+		if bj < s.cf.n {
+			sol.X[bj] = s.xB[p]
+		}
+	}
+	// Snap values that the EXPAND anti-degeneracy step nudged marginally
+	// past a bound back onto it.
+	snapTol := 8 * s.opt.FeasTol
+	for j := 0; j < s.cf.n; j++ {
+		if lo := s.cf.lo[j]; !math.IsInf(lo, -1) && math.Abs(sol.X[j]-lo) <= snapTol*(1+math.Abs(lo)) {
+			sol.X[j] = lo
+			continue
+		}
+		if hi := s.cf.hi[j]; !math.IsInf(hi, 1) && math.Abs(sol.X[j]-hi) <= snapTol*(1+math.Abs(hi)) {
+			sol.X[j] = hi
+		}
+	}
+	// Duals and reduced costs from the final basis with the original
+	// (unperturbed) costs.
+	for p := 0; p < s.cf.m; p++ {
+		s.cB[p] = s.cf.c0[s.basis[p]]
+	}
+	s.btran()
+	copy(sol.Dual, s.y)
+	for j := 0; j < s.cf.n; j++ {
+		if s.vstat[j] == vBasic {
+			continue
+		}
+		sol.ReducedObj[j] = s.reducedCost(j, s.cf.c0[j])
+	}
+	obj := 0.0
+	for j := 0; j < s.cf.n; j++ {
+		obj += s.cf.c0[j] * sol.X[j]
+	}
+	if m.maximize {
+		obj = -obj
+		for i := range sol.Dual {
+			sol.Dual[i] = -sol.Dual[i]
+		}
+		for j := range sol.ReducedObj {
+			sol.ReducedObj[j] = -sol.ReducedObj[j]
+		}
+	}
+	sol.Objective = obj
+	return sol
+}

@@ -1,0 +1,287 @@
+package sparse
+
+import "fmt"
+
+// Repair records a basis repair performed during factorization: the matrix
+// column at position Pos was numerically singular (its eliminated column had
+// no usable pivot), so it was replaced by the unit column of row Row. The
+// caller is expected to update its own bookkeeping accordingly (the revised
+// simplex swaps the offending basic variable for the logical variable of
+// Row).
+type Repair struct {
+	Pos int // column position in the factorized matrix
+	Row int // row whose unit column was substituted
+}
+
+// LU is a sparse LU factorization P*B = L*U produced by Factorize, where L
+// is unit lower triangular (implicit diagonal), U is upper triangular with
+// its diagonal stored separately, and P is the row permutation chosen by
+// partial pivoting. Row indices of L and U are expressed in pivot-position
+// space once factorization completes.
+type LU struct {
+	n int
+
+	lColPtr []int
+	lRow    []int
+	lVal    []float64
+
+	uColPtr []int
+	uRow    []int
+	uVal    []float64
+	uDiag   []float64
+
+	pinv []int // original row -> pivot position
+	perm []int // pivot position -> original row
+
+	repairs []Repair
+}
+
+// N reports the dimension of the factorized matrix.
+func (f *LU) N() int { return f.n }
+
+// Repairs reports the basis repairs performed, in factorization order. An
+// empty slice means the matrix was numerically nonsingular.
+func (f *LU) Repairs() []Repair { return f.repairs }
+
+// LNNZ reports the number of stored off-diagonal entries of L.
+func (f *LU) LNNZ() int { return len(f.lRow) }
+
+// UNNZ reports the number of stored entries of U including the diagonal.
+func (f *LU) UNNZ() int { return len(f.uRow) + f.n }
+
+// Factorize computes a sparse LU factorization of the n x n matrix whose
+// k-th column is returned by column (as parallel row-index and value
+// slices, which Factorize does not retain). Partial pivoting selects the
+// largest-magnitude eligible entry; a column whose largest eligible entry
+// is below pivTol is treated as singular and repaired by substituting a
+// unit column (see Repair). Factorize follows the left-looking
+// Gilbert-Peierls algorithm: each column is obtained by a sparse triangular
+// solve against the already-computed columns of L, with the nonzero pattern
+// predicted by a depth-first reachability pass.
+func Factorize(n int, column func(k int) ([]int, []float64), pivTol float64) (*LU, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sparse: negative dimension %d", n)
+	}
+	if pivTol <= 0 {
+		pivTol = 1e-11
+	}
+	f := &LU{
+		n:       n,
+		lColPtr: make([]int, 1, n+1),
+		uColPtr: make([]int, 1, n+1),
+		uDiag:   make([]float64, 0, n),
+		pinv:    make([]int, n),
+		perm:    make([]int, n),
+	}
+	for i := range f.pinv {
+		f.pinv[i] = -1
+		f.perm[i] = -1
+	}
+
+	x := make([]float64, n)     // dense numeric workspace, reset after each column
+	mark := make([]bool, n)     // DFS visited flags, reset after each column
+	topo := make([]int, 0, 64)  // post-order node list (reverse = topological)
+	stack := make([]int, 0, 64) // explicit DFS stack: node
+	cursor := make([]int, n)    // per-node edge cursor for iterative DFS
+	freeRowScan := 0            // cursor for locating unpivoted rows on repair
+
+	for k := 0; k < n; k++ {
+		rows, vals := column(k)
+		if len(rows) != len(vals) {
+			return nil, fmt.Errorf("sparse: column %d has mismatched slices (%d rows, %d vals)", k, len(rows), len(vals))
+		}
+		// Symbolic: reachability of the column pattern through L's DAG.
+		topo = topo[:0]
+		for _, r := range rows {
+			if r < 0 || r >= n {
+				return nil, fmt.Errorf("sparse: column %d row index %d out of range", k, r)
+			}
+			if mark[r] {
+				continue
+			}
+			// Iterative DFS from r.
+			stack = append(stack[:0], r)
+			mark[r] = true
+			cursor[r] = 0
+			for len(stack) > 0 {
+				j := stack[len(stack)-1]
+				adv := false
+				if pj := f.pinv[j]; pj >= 0 {
+					lo, hi := f.lColPtr[pj], f.lColPtr[pj+1]
+					for c := lo + cursor[j]; c < hi; c++ {
+						i := f.lRow[c]
+						cursor[j] = c - lo + 1
+						if !mark[i] {
+							mark[i] = true
+							cursor[i] = 0
+							stack = append(stack, i)
+							adv = true
+							break
+						}
+					}
+				}
+				if !adv {
+					stack = stack[:len(stack)-1]
+					topo = append(topo, j)
+				}
+			}
+		}
+		// Numeric scatter of the right-hand side.
+		for p, r := range rows {
+			x[r] += vals[p]
+		}
+		// Numeric solve in topological order (reverse of post-order).
+		for t := len(topo) - 1; t >= 0; t-- {
+			j := topo[t]
+			pj := f.pinv[j]
+			if pj < 0 {
+				continue
+			}
+			xj := x[j]
+			if xj == 0 {
+				continue
+			}
+			for c := f.lColPtr[pj]; c < f.lColPtr[pj+1]; c++ {
+				x[f.lRow[c]] -= f.lVal[c] * xj
+			}
+		}
+		// Partition: pivotal entries feed U, eligible rows compete for the pivot.
+		ipiv, pmax := -1, 0.0
+		for _, j := range topo {
+			if f.pinv[j] >= 0 {
+				continue
+			}
+			if a := abs(x[j]); a > pmax {
+				pmax, ipiv = a, j
+			}
+		}
+		if ipiv < 0 || pmax < pivTol {
+			// Singular column: substitute the unit column of the first
+			// still-unpivoted row.
+			for freeRowScan < n && f.pinv[freeRowScan] >= 0 {
+				freeRowScan++
+			}
+			if freeRowScan >= n {
+				return nil, fmt.Errorf("sparse: no unpivoted row available for repair at column %d", k)
+			}
+			r := freeRowScan
+			f.pinv[r] = k
+			f.perm[k] = r
+			f.uDiag = append(f.uDiag, 1)
+			f.uColPtr = append(f.uColPtr, len(f.uRow))
+			f.lColPtr = append(f.lColPtr, len(f.lRow))
+			f.repairs = append(f.repairs, Repair{Pos: k, Row: r})
+			clearWorkspace(x, mark, topo)
+			continue
+		}
+		pivVal := x[ipiv]
+		f.pinv[ipiv] = k
+		f.perm[k] = ipiv
+		f.uDiag = append(f.uDiag, pivVal)
+		for _, j := range topo {
+			if j == ipiv {
+				continue
+			}
+			v := x[j]
+			if v == 0 {
+				continue
+			}
+			if pj := f.pinv[j]; pj >= 0 {
+				f.uRow = append(f.uRow, pj) // already pivot-position space
+				f.uVal = append(f.uVal, v)
+			} else {
+				f.lRow = append(f.lRow, j) // original space; remapped below
+				f.lVal = append(f.lVal, v/pivVal)
+			}
+		}
+		f.uColPtr = append(f.uColPtr, len(f.uRow))
+		f.lColPtr = append(f.lColPtr, len(f.lRow))
+		clearWorkspace(x, mark, topo)
+	}
+	// Remap L's row indices from original space to pivot positions.
+	for p, r := range f.lRow {
+		f.lRow[p] = f.pinv[r]
+	}
+	return f, nil
+}
+
+func clearWorkspace(x []float64, mark []bool, pattern []int) {
+	for _, j := range pattern {
+		x[j] = 0
+		mark[j] = false
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Solve computes x = B⁻¹ b, writing the result into dst (which must have
+// length n and may alias neither b nor internal state). scratch must also
+// have length n; it is fully overwritten.
+func (f *LU) Solve(b, dst, scratch []float64) {
+	w := scratch
+	for i := 0; i < f.n; i++ {
+		w[f.pinv[i]] = b[i]
+	}
+	f.lSolve(w)
+	f.uSolve(w)
+	copy(dst, w)
+}
+
+// lSolve solves L*x = w in place, with w in pivot-position space.
+func (f *LU) lSolve(w []float64) {
+	for k := 0; k < f.n; k++ {
+		xk := w[k]
+		if xk == 0 {
+			continue
+		}
+		for c := f.lColPtr[k]; c < f.lColPtr[k+1]; c++ {
+			w[f.lRow[c]] -= f.lVal[c] * xk
+		}
+	}
+}
+
+// uSolve solves U*x = w in place, with w in pivot-position space.
+func (f *LU) uSolve(w []float64) {
+	for k := f.n - 1; k >= 0; k-- {
+		xk := w[k] / f.uDiag[k]
+		w[k] = xk
+		if xk == 0 {
+			continue
+		}
+		for c := f.uColPtr[k]; c < f.uColPtr[k+1]; c++ {
+			w[f.uRow[c]] -= f.uVal[c] * xk
+		}
+	}
+}
+
+// SolveT computes y = B⁻ᵀ c, writing the result into dst (length n).
+// scratch must have length n; it is fully overwritten.
+func (f *LU) SolveT(c, dst, scratch []float64) {
+	w := scratch
+	copy(w, c)
+	// Uᵀ w' = c  (Uᵀ is lower triangular).
+	for k := 0; k < f.n; k++ {
+		sum := w[k]
+		for p := f.uColPtr[k]; p < f.uColPtr[k+1]; p++ {
+			sum -= f.uVal[p] * w[f.uRow[p]]
+		}
+		w[k] = sum / f.uDiag[k]
+	}
+	// Lᵀ z = w'  (Lᵀ is unit upper triangular).
+	for k := f.n - 1; k >= 0; k-- {
+		sum := w[k]
+		for p := f.lColPtr[k]; p < f.lColPtr[k+1]; p++ {
+			sum -= f.lVal[p] * w[f.lRow[p]]
+		}
+		w[k] = sum
+	}
+	// Undo the row permutation: y_i = z_{pinv[i]}.
+	for i := 0; i < f.n; i++ {
+		dst[i] = w[f.pinv[i]]
+	}
+}

@@ -1,0 +1,171 @@
+// Package sparse implements the compressed sparse-column matrices, sparse
+// LU factorization, and triangular solves that back the LP solver. It is a
+// self-contained, stdlib-only kernel in the spirit of CSparse: column-major
+// storage, Gilbert-Peierls left-looking LU with partial pivoting, and
+// dense-workspace triangular solves tuned for the basis matrices that arise
+// from network-flow-like linear programs.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Matrix is an immutable sparse matrix in compressed sparse-column (CSC)
+// form. Column j occupies positions ColPtr[j]..ColPtr[j+1] of RowIdx and
+// Val. Row indices within a column are sorted ascending with no duplicates.
+type Matrix struct {
+	Rows   int
+	Cols   int
+	ColPtr []int     // length Cols+1
+	RowIdx []int     // length nnz
+	Val    []float64 // length nnz
+}
+
+// Triplet is a single (row, col, value) entry used when assembling a Matrix.
+type Triplet struct {
+	Row int
+	Col int
+	Val float64
+}
+
+// NewFromTriplets assembles a rows x cols CSC matrix from coordinate-form
+// entries. Duplicate entries are summed; explicit zeros are kept (callers
+// that care can prune). It returns an error when an index is out of range.
+func NewFromTriplets(rows, cols int, entries []Triplet) (*Matrix, error) {
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			return nil, fmt.Errorf("sparse: triplet (%d,%d) out of range for %dx%d matrix",
+				e.Row, e.Col, rows, cols)
+		}
+	}
+	// Count column occupancies.
+	counts := make([]int, cols+1)
+	for _, e := range entries {
+		counts[e.Col+1]++
+	}
+	colPtr := make([]int, cols+1)
+	for j := 0; j < cols; j++ {
+		colPtr[j+1] = colPtr[j] + counts[j+1]
+	}
+	rowIdx := make([]int, len(entries))
+	val := make([]float64, len(entries))
+	next := make([]int, cols)
+	copy(next, colPtr[:cols])
+	for _, e := range entries {
+		p := next[e.Col]
+		rowIdx[p] = e.Row
+		val[p] = e.Val
+		next[e.Col]++
+	}
+	m := &Matrix{Rows: rows, Cols: cols, ColPtr: colPtr, RowIdx: rowIdx, Val: val}
+	m.sortAndDedup()
+	return m, nil
+}
+
+// sortAndDedup sorts row indices within each column and merges duplicates.
+func (m *Matrix) sortAndDedup() {
+	outPtr := make([]int, m.Cols+1)
+	outIdx := m.RowIdx[:0]
+	outVal := m.Val[:0]
+	type ent struct {
+		row int
+		val float64
+	}
+	var scratch []ent
+	writePos := 0
+	for j := 0; j < m.Cols; j++ {
+		start, end := m.ColPtr[j], m.ColPtr[j+1]
+		scratch = scratch[:0]
+		for p := start; p < end; p++ {
+			scratch = append(scratch, ent{m.RowIdx[p], m.Val[p]})
+		}
+		sort.Slice(scratch, func(a, b int) bool { return scratch[a].row < scratch[b].row })
+		outPtr[j] = writePos
+		for i := 0; i < len(scratch); {
+			row := scratch[i].row
+			sum := 0.0
+			for i < len(scratch) && scratch[i].row == row {
+				sum += scratch[i].val
+				i++
+			}
+			outIdx = append(outIdx[:writePos], row)
+			outVal = append(outVal[:writePos], sum)
+			writePos++
+		}
+	}
+	outPtr[m.Cols] = writePos
+	m.ColPtr = outPtr
+	m.RowIdx = outIdx[:writePos]
+	m.Val = outVal[:writePos]
+}
+
+// NNZ reports the number of stored entries.
+func (m *Matrix) NNZ() int { return len(m.RowIdx) }
+
+// Column invokes fn for every stored entry (row, value) of column j.
+func (m *Matrix) Column(j int, fn func(row int, val float64)) {
+	for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+		fn(m.RowIdx[p], m.Val[p])
+	}
+}
+
+// ColumnSlices returns the row-index and value slices of column j. The
+// returned slices alias the matrix and must not be mutated.
+func (m *Matrix) ColumnSlices(j int) ([]int, []float64) {
+	return m.RowIdx[m.ColPtr[j]:m.ColPtr[j+1]], m.Val[m.ColPtr[j]:m.ColPtr[j+1]]
+}
+
+// At returns the value at (i, j), 0 when the entry is not stored. It is
+// O(log nnz(col j)) and intended for tests and small matrices.
+func (m *Matrix) At(i, j int) float64 {
+	lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+	idx := sort.SearchInts(m.RowIdx[lo:hi], i)
+	if lo+idx < hi && m.RowIdx[lo+idx] == i {
+		return m.Val[lo+idx]
+	}
+	return 0
+}
+
+// MulVec computes y = A*x into the provided slice, which must have length
+// Rows. x must have length Cols.
+func (m *Matrix) MulVec(x, y []float64) {
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < m.Cols; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			y[m.RowIdx[p]] += m.Val[p] * xj
+		}
+	}
+}
+
+// MulTVec computes y = Aᵀ*x into the provided slice, which must have length
+// Cols. x must have length Rows.
+func (m *Matrix) MulTVec(x, y []float64) {
+	for j := 0; j < m.Cols; j++ {
+		sum := 0.0
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			sum += m.Val[p] * x[m.RowIdx[p]]
+		}
+		y[j] = sum
+	}
+}
+
+// Dense expands the matrix to a dense row-major [][]float64. For tests.
+func (m *Matrix) Dense() [][]float64 {
+	d := make([][]float64, m.Rows)
+	for i := range d {
+		d[i] = make([]float64, m.Cols)
+	}
+	for j := 0; j < m.Cols; j++ {
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			d[m.RowIdx[p]][j] = m.Val[p]
+		}
+	}
+	return d
+}

@@ -1,0 +1,233 @@
+package netmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Charging is a q-th percentile charging scheme (Sec. II-A): per-slot
+// traffic volumes over a charging period of PeriodSlots slots are sorted
+// ascending, and the volume at the ceil(q/100 * PeriodSlots)-th position
+// (1-based) is the charged volume. Q = 100 charges the peak, which is the
+// scheme the paper's formulation and evaluation use.
+type Charging struct {
+	Q           float64 // percentile in (0, 100]
+	PeriodSlots int     // number of accounting slots in the charging period
+}
+
+// MaxCharging is the 100th-percentile scheme over the given period.
+func MaxCharging(periodSlots int) Charging {
+	return Charging{Q: 100, PeriodSlots: periodSlots}
+}
+
+// Validate checks the scheme parameters.
+func (c Charging) Validate() error {
+	if c.Q <= 0 || c.Q > 100 {
+		return fmt.Errorf("netmodel: percentile %v outside (0, 100]", c.Q)
+	}
+	if c.PeriodSlots < 1 {
+		return fmt.Errorf("netmodel: charging period of %d slots", c.PeriodSlots)
+	}
+	return nil
+}
+
+// ChargedVolume computes the charged volume for one link given the per-slot
+// volumes observed so far. Slots beyond len(volumes) and up to PeriodSlots
+// count as zero-traffic slots, exactly as an ISP meter would record them.
+func (c Charging) ChargedVolume(volumes []float64) float64 {
+	if len(volumes) == 0 {
+		return 0
+	}
+	if c.Q >= 100 {
+		peak := 0.0
+		for _, v := range volumes {
+			if v > peak {
+				peak = v
+			}
+		}
+		return peak
+	}
+	period := c.PeriodSlots
+	if len(volumes) > period {
+		period = len(volumes)
+	}
+	rank := int(math.Ceil(c.Q / 100 * float64(period))) // 1-based
+	zeros := period - len(volumes)
+	if rank <= zeros {
+		return 0
+	}
+	sorted := make([]float64, len(volumes))
+	copy(sorted, volumes)
+	sort.Float64s(sorted)
+	return sorted[rank-zeros-1]
+}
+
+// Ledger records, per directed link, the traffic volume of every slot, and
+// exposes the charging-relevant aggregates the optimizer needs: the charged
+// volume so far (X_ij(t-1) in the paper) and per-slot usage.
+type Ledger struct {
+	nw      *Network
+	scheme  Charging
+	volumes [][]float64 // [linkIndex][slot], grown on demand
+}
+
+// NewLedger creates an empty ledger for the network under the scheme.
+func NewLedger(nw *Network, scheme Charging) (*Ledger, error) {
+	if err := scheme.Validate(); err != nil {
+		return nil, err
+	}
+	n := nw.NumDCs()
+	return &Ledger{nw: nw, scheme: scheme, volumes: make([][]float64, n*n)}, nil
+}
+
+// Network returns the network the ledger charges for.
+func (l *Ledger) Network() *Network { return l.nw }
+
+// Scheme returns the charging scheme in force.
+func (l *Ledger) Scheme() Charging { return l.scheme }
+
+// Add records amount GB of traffic on link i->j during slot. Negative
+// amounts and traffic on non-existent links are rejected.
+func (l *Ledger) Add(i, j DC, slot int, amount float64) error {
+	if amount < 0 || math.IsNaN(amount) || math.IsInf(amount, 0) {
+		return fmt.Errorf("netmodel: invalid traffic amount %v on %d->%d", amount, i, j)
+	}
+	if !l.nw.HasLink(i, j) {
+		return fmt.Errorf("netmodel: traffic on non-existent link %d->%d", i, j)
+	}
+	if slot < 0 {
+		return fmt.Errorf("netmodel: negative slot %d", slot)
+	}
+	if amount == 0 {
+		return nil
+	}
+	k := l.nw.idx(i, j)
+	for len(l.volumes[k]) <= slot {
+		l.volumes[k] = append(l.volumes[k], 0)
+	}
+	l.volumes[k][slot] += amount
+	return nil
+}
+
+// VolumeAt reports the volume recorded on link i->j during slot.
+func (l *Ledger) VolumeAt(i, j DC, slot int) float64 {
+	k := l.nw.idx(i, j)
+	if slot < 0 || slot >= len(l.volumes[k]) {
+		return 0
+	}
+	return l.volumes[k][slot]
+}
+
+// ChargedVolume reports the charged volume of link i->j over the slots
+// recorded so far — the running X_ij of the paper under the 100th
+// percentile, or the percentile estimate under general q.
+func (l *Ledger) ChargedVolume(i, j DC) float64 {
+	return l.scheme.ChargedVolume(l.volumes[l.nw.idx(i, j)])
+}
+
+// CostPerSlot reports the cost per time interval with the current charged
+// volumes: sum over links of price(i,j) * X_ij. The paper's objective is
+// this quantity multiplied by the number of slots in the charging period.
+func (l *Ledger) CostPerSlot() float64 {
+	total := 0.0
+	l.nw.Links(func(link Link, price, _ float64) {
+		total += price * l.ChargedVolume(link.From, link.To)
+	})
+	return total
+}
+
+// TotalCost reports the cost over the whole charging period: CostPerSlot
+// times the period length.
+func (l *Ledger) TotalCost() float64 {
+	return l.CostPerSlot() * float64(l.scheme.PeriodSlots)
+}
+
+// Residual reports the unreserved capacity of link i->j at slot, in GB:
+// base capacity minus the volume already recorded for that slot. It is
+// never negative.
+func (l *Ledger) Residual(i, j DC, slot int) float64 {
+	r := l.nw.Capacity(i, j) - l.VolumeAt(i, j, slot)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// PaidHeadroom reports how much more traffic link i->j could carry at slot
+// without raising its 100th-percentile charge: max(0, X_ij - volume(slot)),
+// additionally clamped by the residual capacity. This is the "already paid"
+// volume the flow-based decomposition fills first.
+func (l *Ledger) PaidHeadroom(i, j DC, slot int) float64 {
+	head := l.ChargedVolume(i, j) - l.VolumeAt(i, j, slot)
+	if head < 0 {
+		head = 0
+	}
+	if r := l.Residual(i, j, slot); head > r {
+		head = r
+	}
+	return head
+}
+
+// Clone returns a deep copy of the ledger, used for what-if evaluation.
+func (l *Ledger) Clone() *Ledger {
+	cp := &Ledger{nw: l.nw, scheme: l.scheme, volumes: make([][]float64, len(l.volumes))}
+	for k, vs := range l.volumes {
+		if len(vs) == 0 {
+			continue
+		}
+		cp.volumes[k] = append([]float64(nil), vs...)
+	}
+	return cp
+}
+
+// PiecewiseLinearCost is a non-decreasing piecewise-linear cost function
+// c(x), the general form of ISP cost functions cited by the paper
+// (Goldberg et al.). Breakpoints hold the x-coordinates in increasing
+// order; Slopes[i] applies between Breakpoints[i] and Breakpoints[i+1]
+// (the last slope extends to infinity). The function starts at c(0) = Base.
+type PiecewiseLinearCost struct {
+	Base        float64
+	Breakpoints []float64 // ascending, first typically 0
+	Slopes      []float64 // len == len(Breakpoints), all >= 0
+}
+
+// LinearCost is the flat-price special case c(x) = a*x used throughout the
+// paper's formulation and evaluation.
+func LinearCost(a float64) PiecewiseLinearCost {
+	return PiecewiseLinearCost{Breakpoints: []float64{0}, Slopes: []float64{a}}
+}
+
+// Validate checks monotonicity requirements.
+func (p PiecewiseLinearCost) Validate() error {
+	if len(p.Breakpoints) == 0 || len(p.Breakpoints) != len(p.Slopes) {
+		return fmt.Errorf("netmodel: piecewise cost needs equal, nonzero breakpoints and slopes")
+	}
+	for i, s := range p.Slopes {
+		if s < 0 {
+			return fmt.Errorf("netmodel: negative slope %v at segment %d", s, i)
+		}
+	}
+	for i := 1; i < len(p.Breakpoints); i++ {
+		if p.Breakpoints[i] <= p.Breakpoints[i-1] {
+			return fmt.Errorf("netmodel: breakpoints not increasing at %d", i)
+		}
+	}
+	return nil
+}
+
+// At evaluates c(x). Values below the first breakpoint cost Base.
+func (p PiecewiseLinearCost) At(x float64) float64 {
+	c := p.Base
+	for i, b := range p.Breakpoints {
+		if x <= b {
+			break
+		}
+		end := x
+		if i+1 < len(p.Breakpoints) && p.Breakpoints[i+1] < x {
+			end = p.Breakpoints[i+1]
+		}
+		c += p.Slopes[i] * (end - b)
+	}
+	return c
+}

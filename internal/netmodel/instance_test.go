@@ -1,0 +1,76 @@
+package netmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestInstanceRoundTrip(t *testing.T) {
+	nw, files, err := Fig3Topology(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := InstanceOf(nw, files)
+	var buf bytes.Buffer
+	if err := inst.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2, files2, err := got.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw2.NumDCs() != nw.NumDCs() || nw2.NumLinks() != nw.NumLinks() {
+		t.Errorf("network shape changed: %d/%d vs %d/%d",
+			nw2.NumDCs(), nw2.NumLinks(), nw.NumDCs(), nw.NumLinks())
+	}
+	nw.Links(func(l Link, price, capacity float64) {
+		if nw2.Price(l.From, l.To) != price || nw2.Capacity(l.From, l.To) != capacity {
+			t.Errorf("link %v changed", l)
+		}
+	})
+	if len(files2) != len(files) {
+		t.Fatalf("files = %d, want %d", len(files2), len(files))
+	}
+	for i := range files {
+		if files2[i] != files[i] {
+			t.Errorf("file %d changed: %+v != %+v", i, files2[i], files[i])
+		}
+	}
+}
+
+func TestReadInstanceRejectsUnknownFields(t *testing.T) {
+	in := `{"datacenters": 2, "links": [], "files": [], "bogus": 1}`
+	if _, err := ReadInstance(strings.NewReader(in)); err == nil {
+		t.Error("expected error for unknown field")
+	}
+}
+
+func TestInstanceBuildValidation(t *testing.T) {
+	cases := []Instance{
+		{Datacenters: 0},
+		{Datacenters: 2, Links: []InstanceLink{{From: 0, To: 5, Price: 1, Capacity: 1}}},
+		{Datacenters: 2, Links: []InstanceLink{{From: 0, To: 1, Price: 1, Capacity: 1}},
+			Files: []InstanceFile{{ID: 1, Src: 0, Dst: 0, Size: 1, Deadline: 1}}},
+		{Datacenters: 2, Links: []InstanceLink{{From: 0, To: 1, Price: 1, Capacity: 1}},
+			Files: []InstanceFile{
+				{ID: 1, Src: 0, Dst: 1, Size: 1, Deadline: 1},
+				{ID: 1, Src: 1, Dst: 0, Size: 1, Deadline: 1},
+			}},
+	}
+	for i, inst := range cases {
+		if _, _, err := inst.Build(); err == nil {
+			t.Errorf("case %d: expected build error", i)
+		}
+	}
+}
+
+func TestReadInstanceGarbage(t *testing.T) {
+	if _, err := ReadInstance(strings.NewReader("{")); err == nil {
+		t.Error("expected decode error")
+	}
+}

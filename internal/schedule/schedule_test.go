@@ -1,0 +1,221 @@
+package schedule
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/interdc/postcard/internal/netmodel"
+)
+
+func testNet(t *testing.T) *netmodel.Network {
+	t.Helper()
+	nw, err := netmodel.Complete(3, func(_, _ netmodel.DC) float64 { return 1 }, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func fileA() netmodel.File {
+	return netmodel.File{ID: 1, Src: 0, Dst: 2, Size: 6, Deadline: 3, Release: 0}
+}
+
+// goodSchedule pipelines file A: 0->1 during slots 0,1 (3 GB each), holds
+// nothing at the source, forwards 1->2 during slots 1,2.
+func goodSchedule() *Schedule {
+	s := &Schedule{}
+	s.Add(Action{FileID: 1, From: 0, To: 1, Slot: 0, Amount: 3})
+	s.Add(Action{FileID: 1, From: 0, To: 0, Slot: 0, Amount: 3}) // hold rest at src
+	s.Add(Action{FileID: 1, From: 0, To: 1, Slot: 1, Amount: 3})
+	s.Add(Action{FileID: 1, From: 1, To: 2, Slot: 1, Amount: 3})
+	s.Add(Action{FileID: 1, From: 1, To: 2, Slot: 2, Amount: 3})
+	s.Add(Action{FileID: 1, From: 2, To: 2, Slot: 2, Amount: 3}) // hold early arrival at dst
+	return s
+}
+
+func TestVerifyAcceptsPipelinedSchedule(t *testing.T) {
+	nw := testNet(t)
+	if err := Verify(goodSchedule(), nw, []netmodel.File{fileA()}, VerifyConfig{}); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsShortDelivery(t *testing.T) {
+	nw := testNet(t)
+	s := goodSchedule()
+	// Remove the final forwarding hop: 3 GB stranded at DC1.
+	var pruned Schedule
+	for _, a := range s.Actions() {
+		if a.From == 1 && a.To == 2 && a.Slot == 2 {
+			continue
+		}
+		pruned.Add(a)
+	}
+	err := Verify(&pruned, nw, []netmodel.File{fileA()}, VerifyConfig{})
+	if err == nil {
+		t.Fatal("expected verification failure for stranded data")
+	}
+}
+
+func TestVerifyRejectsDeadlineViolation(t *testing.T) {
+	nw := testNet(t)
+	s := goodSchedule()
+	s.Add(Action{FileID: 1, From: 0, To: 1, Slot: 5, Amount: 1})
+	if err := Verify(s, nw, []netmodel.File{fileA()}, VerifyConfig{}); err == nil {
+		t.Fatal("expected verification failure for action beyond deadline")
+	}
+}
+
+func TestVerifyRejectsUnknownFile(t *testing.T) {
+	nw := testNet(t)
+	s := &Schedule{}
+	s.Add(Action{FileID: 99, From: 0, To: 1, Slot: 0, Amount: 1})
+	if err := Verify(s, nw, []netmodel.File{fileA()}, VerifyConfig{}); err == nil {
+		t.Fatal("expected verification failure for unknown file")
+	}
+}
+
+func TestVerifyRejectsMissingLink(t *testing.T) {
+	nw, err := netmodel.NewNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetLink(0, 1, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	s := &Schedule{}
+	s.Add(Action{FileID: 1, From: 1, To: 0, Slot: 0, Amount: 1})
+	file := netmodel.File{ID: 1, Src: 1, Dst: 0, Size: 1, Deadline: 1, Release: 0}
+	if err := Verify(s, nw, []netmodel.File{file}, VerifyConfig{}); err == nil {
+		t.Fatal("expected verification failure for missing link")
+	}
+}
+
+func TestVerifyRejectsCapacityOverflow(t *testing.T) {
+	nw := testNet(t)
+	file := netmodel.File{ID: 1, Src: 0, Dst: 1, Size: 6, Deadline: 1, Release: 0}
+	s := &Schedule{}
+	s.Add(Action{FileID: 1, From: 0, To: 1, Slot: 0, Amount: 6})
+	tight := func(i, j netmodel.DC, slot int) float64 { return 4 }
+	err := Verify(s, nw, []netmodel.File{file}, VerifyConfig{Residual: tight})
+	if err == nil || !strings.Contains(err.Error(), "residual") {
+		t.Fatalf("expected residual violation, got %v", err)
+	}
+}
+
+func TestVerifyRejectsMovingAbsentData(t *testing.T) {
+	nw := testNet(t)
+	file := netmodel.File{ID: 1, Src: 0, Dst: 2, Size: 2, Deadline: 2, Release: 0}
+	s := &Schedule{}
+	// DC1 forwards at slot 0 although the data only arrives at layer 1.
+	s.Add(Action{FileID: 1, From: 1, To: 2, Slot: 0, Amount: 2})
+	s.Add(Action{FileID: 1, From: 0, To: 1, Slot: 0, Amount: 2})
+	s.Add(Action{FileID: 1, From: 1, To: 2, Slot: 1, Amount: 2})
+	if err := Verify(s, nw, []netmodel.File{file}, VerifyConfig{}); err == nil {
+		t.Fatal("expected verification failure for premature forwarding")
+	}
+}
+
+func TestVerifyRejectsDuplicateFileIDs(t *testing.T) {
+	nw := testNet(t)
+	files := []netmodel.File{fileA(), fileA()}
+	if err := Verify(&Schedule{}, nw, files, VerifyConfig{}); err == nil {
+		t.Fatal("expected duplicate-ID error")
+	}
+}
+
+func TestVerifyRejectsNegativeAmount(t *testing.T) {
+	nw := testNet(t)
+	s := &Schedule{}
+	s.Add(Action{FileID: 1, From: 0, To: 1, Slot: 0, Amount: -2})
+	if err := Verify(s, nw, []netmodel.File{fileA()}, VerifyConfig{}); err == nil {
+		t.Fatal("expected negative-amount error")
+	}
+}
+
+func TestVerifyEmptyScheduleNoFiles(t *testing.T) {
+	nw := testNet(t)
+	if err := Verify(&Schedule{}, nw, nil, VerifyConfig{}); err != nil {
+		t.Errorf("empty schedule with no files should verify: %v", err)
+	}
+}
+
+func TestVerifyEmptyScheduleWithFilesFails(t *testing.T) {
+	nw := testNet(t)
+	if err := Verify(&Schedule{}, nw, []netmodel.File{fileA()}, VerifyConfig{}); err == nil {
+		t.Fatal("expected failure: file never delivered")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := goodSchedule()
+	if got := s.TransferVolume(0, 1, 0); got != 3 {
+		t.Errorf("TransferVolume = %v, want 3", got)
+	}
+	if got := s.TransferVolume(0, 0, 0); got != 0 {
+		t.Errorf("holds must not count as transfers, got %v", got)
+	}
+	if got := s.HoldVolume(0, 0); got != 3 {
+		t.Errorf("HoldVolume = %v, want 3", got)
+	}
+	if got := s.TotalTransferred(); got != 12 {
+		t.Errorf("TotalTransferred = %v, want 12", got)
+	}
+	if got := s.MaxSlot(); got != 2 {
+		t.Errorf("MaxSlot = %v, want 2", got)
+	}
+	if (&Schedule{}).MaxSlot() != -1 {
+		t.Error("empty MaxSlot should be -1")
+	}
+	if got := s.Len(); got != 6 {
+		t.Errorf("Len = %d, want 6", got)
+	}
+	s.Add(Action{FileID: 1, From: 0, To: 1, Slot: 0, Amount: 0})
+	if got := s.Len(); got != 6 {
+		t.Errorf("zero-amount action stored; Len = %d", got)
+	}
+}
+
+func TestActionsSortedAndCopied(t *testing.T) {
+	s := &Schedule{}
+	s.Add(Action{FileID: 2, From: 1, To: 2, Slot: 1, Amount: 1})
+	s.Add(Action{FileID: 1, From: 0, To: 1, Slot: 0, Amount: 1})
+	got := s.Actions()
+	if got[0].Slot != 0 || got[1].Slot != 1 {
+		t.Errorf("not sorted by slot: %v", got)
+	}
+	got[0].Amount = 99
+	if s.Actions()[0].Amount == 99 {
+		t.Error("Actions must return a copy")
+	}
+}
+
+func TestApplyRecordsTransfersOnly(t *testing.T) {
+	nw := testNet(t)
+	ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := goodSchedule().Apply(ledger); err != nil {
+		t.Fatal(err)
+	}
+	if got := ledger.VolumeAt(0, 1, 0); got != 3 {
+		t.Errorf("VolumeAt(0,1,0) = %v, want 3", got)
+	}
+	// Holds are free and unrecorded; link 0->0 does not even exist.
+	if got := ledger.ChargedVolume(1, 2); math.Abs(got-3) > 1e-12 {
+		t.Errorf("ChargedVolume(1,2) = %v, want 3", got)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	hold := Action{FileID: 1, From: 2, To: 2, Slot: 3, Amount: 1.5}
+	if !strings.Contains(hold.String(), "hold") {
+		t.Errorf("hold string: %s", hold.String())
+	}
+	send := Action{FileID: 1, From: 0, To: 2, Slot: 3, Amount: 1.5}
+	if !strings.Contains(send.String(), "send") {
+		t.Errorf("send string: %s", send.String())
+	}
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/interdc/postcard/internal/netmodel"
+	"github.com/interdc/postcard/internal/stats"
+	"github.com/interdc/postcard/internal/workload"
+)
+
+// Scale sets the size of an evaluation experiment. The paper's scale is
+// expensive (thousands of LP solves); CIScale keeps the same qualitative
+// regimes at a size that runs in seconds.
+type Scale struct {
+	Name      string
+	DCs       int
+	Slots     int
+	Runs      int
+	FilesMin  int
+	FilesMax  int
+	SizeMinGB float64
+	SizeMaxGB float64
+	Seed      int64
+}
+
+// PaperScale is the exact configuration of Sec. VII: 20 datacenters, 100
+// slots, 10 runs, 1-20 files per slot of 10-100 GB.
+func PaperScale() Scale {
+	return Scale{
+		Name:      "paper",
+		DCs:       netmodel.EvalDCs,
+		Slots:     netmodel.EvalSlots,
+		Runs:      netmodel.EvalRuns,
+		FilesMin:  1,
+		FilesMax:  20,
+		SizeMinGB: 10,
+		SizeMaxGB: 100,
+		Seed:      2012,
+	}
+}
+
+// CIScale is a reduced configuration preserving the paper's regimes
+// (ample versus limited capacity relative to per-file rates, urgent versus
+// delay-tolerant deadlines) while keeping the LPs small. The per-slot file
+// count is kept high relative to the link count so that cheap links see
+// the contention that drives the paper's limited-capacity results.
+func CIScale() Scale {
+	return Scale{
+		Name:      "ci",
+		DCs:       8,
+		Slots:     16,
+		Runs:      3,
+		FilesMin:  1,
+		FilesMax:  5,
+		SizeMinGB: 10,
+		SizeMaxGB: 100,
+		Seed:      2012,
+	}
+}
+
+// Validate checks the scale.
+func (s Scale) Validate() error {
+	if s.DCs < 2 || s.Slots < 1 || s.Runs < 1 {
+		return fmt.Errorf("sim: invalid scale %+v", s)
+	}
+	if s.FilesMin < 0 || s.FilesMax < s.FilesMin || s.SizeMinGB <= 0 || s.SizeMaxGB < s.SizeMinGB {
+		return fmt.Errorf("sim: invalid workload ranges in scale %+v", s)
+	}
+	return nil
+}
+
+// FigureConfig describes one evaluation figure to regenerate.
+type FigureConfig struct {
+	Setting    netmodel.EvalSetting
+	Scale      Scale
+	Schedulers []Scheduler
+	// UniformDeadlines draws each file's deadline uniformly from
+	// [1, Setting.MaxT] instead of fixing it at Setting.MaxT. The default
+	// (fixed) follows the paper's "more urgent files (max T_k = 3)"
+	// phrasing; note that under uniform draws, a deadline-1 file larger
+	// than one link's per-slot capacity is undeliverable in the
+	// time-slotted model (one slot = one hop) and will be shed.
+	UniformDeadlines bool
+	// Progress, when non-nil, receives human-readable progress lines.
+	Progress func(format string, args ...any)
+}
+
+// SchedulerSummary aggregates one scheduler's results across runs.
+type SchedulerSummary struct {
+	Name          string
+	Final         stats.Summary // final cost per slot across runs (the figure's bar)
+	MeanSeries    []float64     // cost per slot over time, averaged across runs
+	DroppedFiles  int
+	DroppedVolume float64
+	Elapsed       time.Duration
+}
+
+// FigureResult is the regenerated data behind one evaluation figure.
+type FigureResult struct {
+	Setting    netmodel.EvalSetting
+	Scale      Scale
+	Schedulers []SchedulerSummary
+}
+
+// DefaultSchedulers returns the two schedulers the paper's figures compare.
+func DefaultSchedulers() []Scheduler {
+	return []Scheduler{&Postcard{}, &Flow{Variant: FlowLP}}
+}
+
+// RunFigure regenerates one evaluation figure: Scale.Runs independent
+// simulations of Scale.Slots slots each, with per-run random prices in
+// [1, 10], per-run workloads, and every scheduler replaying the identical
+// trace on its own ledger.
+func RunFigure(cfg FigureConfig) (*FigureResult, error) {
+	if err := cfg.Scale.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Schedulers) == 0 {
+		cfg.Schedulers = DefaultSchedulers()
+	}
+	progress := cfg.Progress
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	type agg struct {
+		finals  stats.Accumulator
+		series  []float64
+		dropped int
+		dropVol float64
+		elapsed time.Duration
+	}
+	aggs := make([]agg, len(cfg.Schedulers))
+	for i := range aggs {
+		aggs[i].series = make([]float64, cfg.Scale.Slots)
+	}
+	for run := 0; run < cfg.Scale.Runs; run++ {
+		seed := cfg.Scale.Seed + int64(run)*7919
+		prices := workload.UniformPrices(seed)
+		nw, err := netmodel.Complete(cfg.Scale.DCs, prices, cfg.Setting.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		gen, err := workload.NewUniform(workload.UniformConfig{
+			NumDCs:        cfg.Scale.DCs,
+			MinFiles:      cfg.Scale.FilesMin,
+			MaxFiles:      cfg.Scale.FilesMax,
+			MinSizeGB:     cfg.Scale.SizeMinGB,
+			MaxSizeGB:     cfg.Scale.SizeMaxGB,
+			MaxDeadline:   cfg.Setting.MaxT,
+			FixedDeadline: !cfg.UniformDeadlines,
+			Seed:          seed + 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		trace := workload.Record(gen, cfg.Scale.Slots)
+		for si, sched := range cfg.Schedulers {
+			ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(cfg.Scale.Slots))
+			if err != nil {
+				return nil, err
+			}
+			rs, err := Run(ledger, sched, trace, cfg.Scale.Slots)
+			if err != nil {
+				return nil, fmt.Errorf("sim: fig %d run %d scheduler %s: %w",
+					cfg.Setting.Figure, run, sched.Name(), err)
+			}
+			aggs[si].finals.Add(rs.FinalCostPerSlot)
+			for t, c := range rs.CostSeries {
+				aggs[si].series[t] += c
+			}
+			aggs[si].dropped += rs.DroppedFiles
+			aggs[si].dropVol += rs.DroppedVolume
+			aggs[si].elapsed += rs.Elapsed
+			progress("fig %d run %d/%d %-14s cost/slot %.1f (%.1fs)",
+				cfg.Setting.Figure, run+1, cfg.Scale.Runs, sched.Name(),
+				rs.FinalCostPerSlot, rs.Elapsed.Seconds())
+		}
+	}
+	res := &FigureResult{Setting: cfg.Setting, Scale: cfg.Scale}
+	for si, sched := range cfg.Schedulers {
+		mean := make([]float64, cfg.Scale.Slots)
+		for t := range mean {
+			mean[t] = aggs[si].series[t] / float64(cfg.Scale.Runs)
+		}
+		res.Schedulers = append(res.Schedulers, SchedulerSummary{
+			Name:          sched.Name(),
+			Final:         aggs[si].finals.Summarize(),
+			MeanSeries:    mean,
+			DroppedFiles:  aggs[si].dropped,
+			DroppedVolume: aggs[si].dropVol,
+			Elapsed:       aggs[si].elapsed,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the figure's data as an aligned text table: one row per
+// scheduler with the mean cost per interval and its 95% confidence
+// interval, matching what the paper plots as bars with error bars.
+func (r *FigureResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d (%s): capacity %g GB/slot, max T %d, %d DCs, %d slots, %d runs\n",
+		r.Setting.Figure, r.Setting.Name, r.Setting.Capacity, r.Setting.MaxT,
+		r.Scale.DCs, r.Scale.Slots, r.Scale.Runs)
+	fmt.Fprintf(&b, "%-16s %14s %14s %10s %12s\n",
+		"scheduler", "avg cost/slot", "95% CI ±", "dropped", "solve time")
+	for _, s := range r.Schedulers {
+		fmt.Fprintf(&b, "%-16s %14.2f %14.2f %10d %12s\n",
+			s.Name, s.Final.Mean, s.Final.CI95Half, s.DroppedFiles, s.Elapsed.Round(10*time.Millisecond))
+	}
+	return b.String()
+}
+
+// SeriesCSV renders the mean cost-per-slot time series as CSV with one
+// column per scheduler, for external plotting.
+func (r *FigureResult) SeriesCSV() string {
+	var b strings.Builder
+	b.WriteString("slot")
+	for _, s := range r.Schedulers {
+		fmt.Fprintf(&b, ",%s", s.Name)
+	}
+	b.WriteByte('\n')
+	for t := 0; t < r.Scale.Slots; t++ {
+		fmt.Fprintf(&b, "%d", t)
+		for _, s := range r.Schedulers {
+			fmt.Fprintf(&b, ",%.3f", s.MeanSeries[t])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

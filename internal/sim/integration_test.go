@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/interdc/postcard/internal/netmodel"
+	"github.com/interdc/postcard/internal/workload"
+)
+
+// TestAllSchedulersOneTrace replays one identical workload through every
+// scheduler and checks cross-cutting invariants: runs complete, costs are
+// positive and non-decreasing over time, the two LP-based flow variants
+// order correctly, and the optimal flow LP never loses to the greedy
+// heuristic.
+func TestAllSchedulersOneTrace(t *testing.T) {
+	nw, err := netmodel.Complete(6, workload.UniformPrices(23), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewUniform(workload.UniformConfig{
+		NumDCs: 6, MinFiles: 1, MaxFiles: 3,
+		MinSizeGB: 10, MaxSizeGB: 60, MaxDeadline: 4, FixedDeadline: true, Seed: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const slots = 8
+	trace := workload.Record(gen, slots)
+
+	names := []string{"postcard", "postcard-nostore", "flow-based", "flow-two-phase", "flow-greedy", "direct"}
+	finals := make(map[string]float64, len(names))
+	for _, name := range names {
+		var sched Scheduler
+		switch name {
+		case "postcard":
+			sched = &Postcard{}
+		case "postcard-nostore":
+			sched = &Postcard{Label: name}
+		case "flow-based":
+			sched = &Flow{Variant: FlowLP}
+		case "flow-two-phase":
+			sched = &Flow{Variant: FlowTwoPhase}
+		case "flow-greedy":
+			sched = &Flow{Variant: FlowGreedy}
+		case "direct":
+			sched = &Flow{Variant: FlowDirect}
+		}
+		ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(slots))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := Run(ledger, sched, trace, slots)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rs.FinalCostPerSlot <= 0 {
+			t.Errorf("%s: nonpositive final cost %v", name, rs.FinalCostPerSlot)
+		}
+		for i := 1; i < len(rs.CostSeries); i++ {
+			if rs.CostSeries[i] < rs.CostSeries[i-1]-1e-9 {
+				t.Errorf("%s: cost series not monotone at %d", name, i)
+			}
+		}
+		finals[name] = rs.FinalCostPerSlot
+	}
+	// The single LP dominates the two-phase decomposition slot by slot,
+	// but online commitment order can occasionally invert the final cost;
+	// allow a small margin.
+	if finals["flow-based"] > finals["flow-two-phase"]*1.15 {
+		t.Errorf("flow LP (%v) much worse than two-phase (%v)", finals["flow-based"], finals["flow-two-phase"])
+	}
+	if finals["flow-based"] > finals["flow-greedy"]*1.15 {
+		t.Errorf("flow LP (%v) much worse than greedy (%v)", finals["flow-based"], finals["flow-greedy"])
+	}
+	// Direct never beats the optimal flow LP (direct is one feasible flow).
+	if finals["flow-based"] > finals["direct"]+1e-6 {
+		t.Errorf("flow LP (%v) worse than direct (%v)", finals["flow-based"], finals["direct"])
+	}
+	t.Logf("final costs: %v", finals)
+}

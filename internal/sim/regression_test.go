@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/interdc/postcard/internal/netmodel"
+)
+
+// TestLongHorizonHighContentionRegression replays the configuration that
+// once made the optimizer emit a schedule rejected by the independent
+// verifier (solver-noise actions surviving extraction): ample capacity,
+// fixed deadline 8, up to 8 files per slot, seed 2012. The run must
+// complete with no errors and no shed files.
+func TestLongHorizonHighContentionRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long online run in -short mode")
+	}
+	setting := netmodel.EvalSetting{Name: "regression", Figure: 5, Capacity: 100, MaxT: 8}
+	res, err := RunFigure(FigureConfig{
+		Setting: setting,
+		Scale: Scale{
+			Name: "regression", DCs: 8, Slots: 10, Runs: 1,
+			FilesMin: 1, FilesMax: 6, SizeMinGB: 10, SizeMaxGB: 100, Seed: 2012,
+		},
+		Schedulers: []Scheduler{&Postcard{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulers[0].DroppedFiles != 0 {
+		t.Errorf("dropped %d files on an ample-capacity run", res.Schedulers[0].DroppedFiles)
+	}
+}

@@ -1,0 +1,154 @@
+// Package sim runs the paper's online time-slotted simulation: at every
+// slot, newly generated files are handed to a scheduler, which commits a
+// routing-and-scheduling plan to a shared charging ledger. The package
+// provides the scheduler adapters for Postcard and every baseline, the
+// per-run engine, and the multi-run experiment driver that regenerates the
+// evaluation figures (Sec. VII).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/interdc/postcard/internal/core"
+	"github.com/interdc/postcard/internal/flowbased"
+	"github.com/interdc/postcard/internal/lp"
+	"github.com/interdc/postcard/internal/netmodel"
+	"github.com/interdc/postcard/internal/schedule"
+)
+
+// ErrInfeasible marks demand that cannot be scheduled under the residual
+// capacities. The engine reacts by shedding files (see Run).
+var ErrInfeasible = errors.New("sim: demand infeasible under residual capacity")
+
+// Scheduler decides, at one slot, how the newly generated files are routed
+// and scheduled given everything already committed in the ledger. The
+// returned schedule must not have been applied to the ledger yet.
+type Scheduler interface {
+	// Name identifies the scheduler in experiment output.
+	Name() string
+	// Schedule plans the given files at slot. Implementations must wrap
+	// ErrInfeasible when the demand cannot fit.
+	Schedule(ledger *netmodel.Ledger, files []netmodel.File, slot int) (*schedule.Schedule, error)
+}
+
+// Postcard is the Scheduler adapter for the paper's optimizer.
+type Postcard struct {
+	// Config tunes the optimizer; nil selects defaults.
+	Config *core.Config
+	// Label overrides Name; defaults to "postcard".
+	Label string
+}
+
+// Name implements Scheduler.
+func (p *Postcard) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "postcard"
+}
+
+// Schedule implements Scheduler.
+func (p *Postcard) Schedule(ledger *netmodel.Ledger, files []netmodel.File, slot int) (*schedule.Schedule, error) {
+	res, err := core.Solve(ledger, files, slot, p.Config)
+	if err != nil {
+		var ue *core.UnroutableError
+		if errors.As(err, &ue) {
+			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		return nil, err
+	}
+	if res.Status != lp.Optimal {
+		return nil, fmt.Errorf("%w: postcard LP status %v", ErrInfeasible, res.Status)
+	}
+	return res.Schedule, nil
+}
+
+// FlowVariant selects a flow-based baseline implementation.
+type FlowVariant int
+
+// Flow-based scheduler variants.
+const (
+	// FlowLP is the optimal single-LP flow model (used in the figures).
+	FlowLP FlowVariant = iota + 1
+	// FlowTwoPhase is the paper's literal two-phase decomposition.
+	FlowTwoPhase
+	// FlowGreedy is the cheapest-available-path heuristic.
+	FlowGreedy
+	// FlowDirect sends every file on its direct link (no routing at all).
+	FlowDirect
+)
+
+// String names the variant.
+func (v FlowVariant) String() string {
+	switch v {
+	case FlowLP:
+		return "flow-based"
+	case FlowTwoPhase:
+		return "flow-two-phase"
+	case FlowGreedy:
+		return "flow-greedy"
+	case FlowDirect:
+		return "direct"
+	default:
+		return fmt.Sprintf("FlowVariant(%d)", int(v))
+	}
+}
+
+// Flow is the Scheduler adapter for the flow-based baselines.
+type Flow struct {
+	Variant FlowVariant
+	// Config tunes the LP-based variants; nil selects defaults.
+	Config *flowbased.Config
+}
+
+// Name implements Scheduler.
+func (f *Flow) Name() string { return f.Variant.String() }
+
+// Schedule implements Scheduler.
+func (f *Flow) Schedule(ledger *netmodel.Ledger, files []netmodel.File, slot int) (*schedule.Schedule, error) {
+	var (
+		res *flowbased.Result
+		err error
+	)
+	switch f.Variant {
+	case FlowLP:
+		res, err = flowbased.Solve(ledger, files, slot, f.Config)
+	case FlowTwoPhase:
+		res, err = flowbased.SolveTwoPhase(ledger, files, slot, f.Config)
+	case FlowGreedy:
+		res, err = flowbased.SolveGreedy(ledger, files, slot)
+	case FlowDirect:
+		res, err = flowbased.Direct(ledger, files, slot)
+	default:
+		return nil, fmt.Errorf("sim: unknown flow variant %d", int(f.Variant))
+	}
+	if err != nil {
+		var ue *flowbased.UnroutedError
+		if errors.As(err, &ue) {
+			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		return nil, err
+	}
+	if res.Status != lp.Optimal {
+		return nil, fmt.Errorf("%w: %s LP status %v", ErrInfeasible, f.Name(), res.Status)
+	}
+	return res.Schedule, nil
+}
+
+// shedOrder returns files sorted by descending desired rate, the order in
+// which the engine sheds demand when a slot is infeasible: the most
+// bandwidth-hungry file is dropped first.
+func shedOrder(files []netmodel.File) []netmodel.File {
+	out := make([]netmodel.File, len(files))
+	copy(out, files)
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := out[i].DesiredRate(), out[j].DesiredRate()
+		if ri != rj {
+			return ri > rj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/interdc/postcard/internal/core"
+	"github.com/interdc/postcard/internal/netmodel"
+	"github.com/interdc/postcard/internal/workload"
+)
+
+func testScale() Scale {
+	return Scale{
+		Name: "test", DCs: 5, Slots: 6, Runs: 2,
+		FilesMin: 1, FilesMax: 3, SizeMinGB: 10, SizeMaxGB: 60, Seed: 99,
+	}
+}
+
+func TestRunPostcardSmoke(t *testing.T) {
+	nw, err := netmodel.Complete(5, workload.UniformPrices(1), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewUniform(workload.UniformConfig{
+		NumDCs: 5, MinFiles: 1, MaxFiles: 3,
+		MinSizeGB: 10, MaxSizeGB: 50, MaxDeadline: 3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(ledger, &Postcard{}, gen, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.CostSeries) != 6 {
+		t.Fatalf("series length %d, want 6", len(rs.CostSeries))
+	}
+	// Cost is a running max aggregate: non-decreasing.
+	for i := 1; i < len(rs.CostSeries); i++ {
+		if rs.CostSeries[i] < rs.CostSeries[i-1]-1e-9 {
+			t.Errorf("cost series decreased at %d: %v -> %v", i, rs.CostSeries[i-1], rs.CostSeries[i])
+		}
+	}
+	if rs.FinalCostPerSlot != rs.CostSeries[5] {
+		t.Errorf("FinalCostPerSlot mismatch")
+	}
+	if rs.DroppedFiles != 0 {
+		t.Errorf("dropped %d files on an ample-capacity run", rs.DroppedFiles)
+	}
+	if rs.ScheduledFiles == 0 || rs.ScheduledVolume <= 0 {
+		t.Error("nothing scheduled")
+	}
+	if rs.DropRate() != 0 {
+		t.Errorf("DropRate = %v, want 0", rs.DropRate())
+	}
+}
+
+func TestRunShedsWhenInfeasible(t *testing.T) {
+	// Tiny capacity: 2 GB/slot between 2 DCs, but 10 GB files with
+	// deadline 1. Everything must be shed, and the engine must not wedge.
+	nw, err := netmodel.Complete(2, func(_, _ netmodel.DC) float64 { return 1 }, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewUniform(workload.UniformConfig{
+		NumDCs: 2, MinFiles: 1, MaxFiles: 1,
+		MinSizeGB: 10, MaxSizeGB: 10, MaxDeadline: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(ledger, &Postcard{}, gen, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.DroppedFiles != 3 {
+		t.Errorf("dropped %d, want 3", rs.DroppedFiles)
+	}
+	if rs.DropRate() != 1 {
+		t.Errorf("DropRate = %v, want 1", rs.DropRate())
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	cases := map[Scheduler]string{
+		&Postcard{}:                  "postcard",
+		&Postcard{Label: "pc-x"}:     "pc-x",
+		&Flow{Variant: FlowLP}:       "flow-based",
+		&Flow{Variant: FlowTwoPhase}: "flow-two-phase",
+		&Flow{Variant: FlowGreedy}:   "flow-greedy",
+		&Flow{Variant: FlowDirect}:   "direct",
+	}
+	for s, want := range cases {
+		if got := s.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestRunFigureSmoke(t *testing.T) {
+	setting := netmodel.EvalSetting{Name: "test", Figure: 4, Capacity: 100, MaxT: 3}
+	res, err := RunFigure(FigureConfig{
+		Setting:    setting,
+		Scale:      testScale(),
+		Schedulers: []Scheduler{&Postcard{}, &Flow{Variant: FlowLP}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schedulers) != 2 {
+		t.Fatalf("schedulers = %d, want 2", len(res.Schedulers))
+	}
+	for _, s := range res.Schedulers {
+		if s.Final.N != 2 {
+			t.Errorf("%s: %d runs, want 2", s.Name, s.Final.N)
+		}
+		if s.Final.Mean <= 0 {
+			t.Errorf("%s: nonpositive mean cost %v", s.Name, s.Final.Mean)
+		}
+		if len(s.MeanSeries) != 6 {
+			t.Errorf("%s: series length %d, want 6", s.Name, len(s.MeanSeries))
+		}
+	}
+	table := res.Table()
+	if table == "" || res.SeriesCSV() == "" {
+		t.Error("empty table or CSV output")
+	}
+	for _, want := range []string{"postcard", "flow-based", "Figure 4"} {
+		if !contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+// TestSameTraceAcrossSchedulers ensures the experiment driver feeds every
+// scheduler the identical workload: with one scheduler listed twice, the
+// two summaries must agree exactly.
+func TestSameTraceAcrossSchedulers(t *testing.T) {
+	setting := netmodel.EvalSetting{Name: "twin", Figure: 6, Capacity: 30, MaxT: 3}
+	sc := testScale()
+	sc.Runs = 1
+	res, err := RunFigure(FigureConfig{
+		Setting: setting,
+		Scale:   sc,
+		Schedulers: []Scheduler{
+			&Postcard{Label: "pc-a"},
+			&Postcard{Label: "pc-b"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.Schedulers[0], res.Schedulers[1]
+	if math.Abs(a.Final.Mean-b.Final.Mean) > 1e-9 {
+		t.Errorf("identical schedulers diverged: %v vs %v", a.Final.Mean, b.Final.Mean)
+	}
+}
+
+// TestPostcardNeverWorseThanDirectOnline: on an ample-capacity run the
+// optimal LP at each step commits a plan no more expensive than the direct
+// plan evaluated on the same ledger (both are feasible plans of the same
+// per-slot problem).
+func TestPostcardNeverWorseThanDirectOnline(t *testing.T) {
+	nw, err := netmodel.Complete(4, workload.UniformPrices(3), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewUniform(workload.UniformConfig{
+		NumDCs: 4, MinFiles: 1, MaxFiles: 2,
+		MinSizeGB: 5, MaxSizeGB: 20, MaxDeadline: 3, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.Record(gen, 5)
+	ledgerP, err := netmodel.NewLedger(nw, netmodel.MaxCharging(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledgerD, err := netmodel.NewLedger(nw, netmodel.MaxCharging(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsP, err := Run(ledgerP, &Postcard{}, trace, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay the same trace for direct.
+	rsD, err := Run(ledgerD, &Flow{Variant: FlowDirect}, trace, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsP.FinalCostPerSlot > rsD.FinalCostPerSlot+1e-6 {
+		t.Errorf("postcard %v worse than direct %v", rsP.FinalCostPerSlot, rsD.FinalCostPerSlot)
+	}
+}
+
+func TestStoragePolicyAblation(t *testing.T) {
+	// Endpoint-only storage can never beat full store-and-forward on the
+	// same trace (it is a restriction of the same LP).
+	nw, files, err := netmodel.Fig3Topology(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := netmodel.NewLedger(nw, netmodel.MaxCharging(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	endp := full.Clone()
+	pcFull := &Postcard{}
+	pcEndp := &Postcard{Config: &core.Config{Storage: core.StorageEndpointsOnly}}
+	sFull, err := pcFull.Schedule(full, files, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sEndp, err := pcEndp.Schedule(endp, files, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sFull.Apply(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := sEndp.Apply(endp); err != nil {
+		t.Fatal(err)
+	}
+	if full.CostPerSlot() > endp.CostPerSlot()+1e-6 {
+		t.Errorf("full storage %v worse than endpoint-only %v", full.CostPerSlot(), endp.CostPerSlot())
+	}
+}
+
+func TestRunRejectsNegativeSlots(t *testing.T) {
+	nw, err := netmodel.Complete(2, func(_, _ netmodel.DC) float64 { return 1 }, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(ledger, &Postcard{}, &workload.Trace{}, -1); err == nil {
+		t.Error("expected error for negative slots")
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	bad := Scale{DCs: 1, Slots: 1, Runs: 1, FilesMin: 0, FilesMax: 1, SizeMinGB: 1, SizeMaxGB: 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for 1 DC")
+	}
+	if err := PaperScale().Validate(); err != nil {
+		t.Errorf("paper scale invalid: %v", err)
+	}
+	if err := CIScale().Validate(); err != nil {
+		t.Errorf("ci scale invalid: %v", err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package timegraph constructs the time-expanded graph at the heart of
+// Postcard (Sec. V): one virtual copy of every datacenter per time layer,
+// a copy of every overlay link between consecutive layers, and a zero-cost
+// infinite-capacity storage self-loop per datacenter modeling
+// store-and-forward. Deadline constraints become structural: a file's
+// variables exist only inside its subgraph of layers.
+package timegraph
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/interdc/postcard/internal/netmodel"
+)
+
+// Edge is one edge of the time-expanded graph, connecting node (From,Slot)
+// to node (To,Slot+1). Storage edges have From == To, infinite capacity and
+// zero price.
+type Edge struct {
+	Index   int
+	From    netmodel.DC
+	To      netmodel.DC
+	Slot    int
+	Storage bool
+	Price   float64
+	BaseCap float64 // base link capacity in GB/slot; +Inf for storage
+}
+
+// Graph is a time-expanded graph over layers [Start, Start+Horizon]. There
+// are Horizon "slots" of edges: slot s connects layer s to layer s+1.
+type Graph struct {
+	nw      *netmodel.Network
+	start   int
+	horizon int
+	edges   []Edge
+	// lookup[(slot-start)*n*n + i*n + j] -> edge index + 1 (0 = absent)
+	lookup []int
+}
+
+// Build constructs the time-expanded graph of nw over horizon slots
+// beginning at slot start.
+func Build(nw *netmodel.Network, start, horizon int) (*Graph, error) {
+	if start < 0 {
+		return nil, fmt.Errorf("timegraph: negative start slot %d", start)
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("timegraph: horizon %d < 1", horizon)
+	}
+	n := nw.NumDCs()
+	g := &Graph{
+		nw:      nw,
+		start:   start,
+		horizon: horizon,
+		lookup:  make([]int, horizon*n*n),
+	}
+	for s := start; s < start+horizon; s++ {
+		nw.Links(func(l netmodel.Link, price, capacity float64) {
+			g.addEdge(Edge{
+				From: l.From, To: l.To, Slot: s,
+				Price: price, BaseCap: capacity,
+			})
+		})
+		for i := 0; i < n; i++ {
+			g.addEdge(Edge{
+				From: netmodel.DC(i), To: netmodel.DC(i), Slot: s,
+				Storage: true, BaseCap: inf(),
+			})
+		}
+	}
+	return g, nil
+}
+
+func inf() float64 { return 1e308 }
+
+func (g *Graph) addEdge(e Edge) {
+	e.Index = len(g.edges)
+	g.edges = append(g.edges, e)
+	g.lookup[g.lookupIdx(e.From, e.To, e.Slot)] = e.Index + 1
+}
+
+func (g *Graph) lookupIdx(i, j netmodel.DC, slot int) int {
+	n := g.nw.NumDCs()
+	return (slot-g.start)*n*n + int(i)*n + int(j)
+}
+
+// Network returns the underlying overlay network.
+func (g *Graph) Network() *netmodel.Network { return g.nw }
+
+// Start reports the first layer (slot index) of the graph.
+func (g *Graph) Start() int { return g.start }
+
+// Horizon reports the number of edge slots.
+func (g *Graph) Horizon() int { return g.horizon }
+
+// NumEdges reports the number of edges (transfer + storage) in the graph.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edge returns the edge with the given index.
+func (g *Graph) Edge(idx int) Edge { return g.edges[idx] }
+
+// Edges invokes fn for every edge in index order.
+func (g *Graph) Edges(fn func(e Edge)) {
+	for _, e := range g.edges {
+		fn(e)
+	}
+}
+
+// EdgeAt returns the edge (i -> j at slot), if it exists. Storage edges are
+// addressed with i == j.
+func (g *Graph) EdgeAt(i, j netmodel.DC, slot int) (Edge, bool) {
+	if slot < g.start || slot >= g.start+g.horizon {
+		return Edge{}, false
+	}
+	n := g.nw.NumDCs()
+	if int(i) < 0 || int(i) >= n || int(j) < 0 || int(j) >= n {
+		return Edge{}, false
+	}
+	id := g.lookup[g.lookupIdx(i, j, slot)]
+	if id == 0 {
+		return Edge{}, false
+	}
+	return g.edges[id-1], true
+}
+
+// FileWindow reports the slot range [first, last] during which file f may
+// occupy edges, clamped to the graph. ok is false when the file cannot fit
+// in this graph at all (released outside the horizon).
+func (g *Graph) FileWindow(f netmodel.File) (first, last int, ok bool) {
+	first = f.Release
+	last = f.Release + f.Deadline - 1
+	if hi := g.start + g.horizon - 1; last > hi {
+		last = hi
+	}
+	if first < g.start {
+		first = g.start
+	}
+	if first > last {
+		return 0, 0, false
+	}
+	return first, last, true
+}
+
+// Reachability holds per-datacenter hop distances used to prune a file's
+// subgraph: FromSrc[i] is the minimum number of link hops from the file's
+// source to datacenter i, ToDst[i] the minimum from i to the destination.
+// Unreachable datacenters hold a value larger than any layer count.
+type Reachability struct {
+	FromSrc []int
+	ToDst   []int
+}
+
+const unreachable = 1 << 30
+
+// FileReachability computes hop distances for file f on the overlay.
+func (g *Graph) FileReachability(f netmodel.File) Reachability {
+	return Reachability{
+		FromSrc: g.bfs(f.Src, false),
+		ToDst:   g.bfs(f.Dst, true),
+	}
+}
+
+// bfs runs breadth-first search over the overlay links, forward from d
+// (reverse=false) or along reversed links toward d (reverse=true).
+func (g *Graph) bfs(d netmodel.DC, reverse bool) []int {
+	n := g.nw.NumDCs()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = unreachable
+	}
+	dist[d] = 0
+	queue := []netmodel.DC{d}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for u := 0; u < n; u++ {
+			var connected bool
+			if reverse {
+				connected = g.nw.HasLink(netmodel.DC(u), v)
+			} else {
+				connected = g.nw.HasLink(v, netmodel.DC(u))
+			}
+			if connected && dist[u] == unreachable {
+				dist[u] = dist[v] + 1
+				queue = append(queue, netmodel.DC(u))
+			}
+		}
+	}
+	return dist
+}
+
+// Allowed reports whether file f may occupy datacenter dc at layer
+// (i.e. hold data there at the beginning of slot layer): the datacenter
+// must be reachable from the source within the elapsed slots and the
+// destination must remain reachable within the remaining slots.
+func (r Reachability) Allowed(f netmodel.File, dc netmodel.DC, layer int) bool {
+	elapsed := layer - f.Release
+	remaining := f.Release + f.Deadline - layer
+	if elapsed < 0 || remaining < 0 {
+		return false
+	}
+	return r.FromSrc[dc] <= elapsed && r.ToDst[dc] <= remaining
+}
+
+// DOT writes the time-expanded graph in Graphviz format, one rank per
+// layer. Storage edges are drawn dashed.
+func (g *Graph) DOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph timeexpanded {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  rankdir=LR;"); err != nil {
+		return err
+	}
+	n := g.nw.NumDCs()
+	for layer := g.start; layer <= g.start+g.horizon; layer++ {
+		if _, err := fmt.Fprintf(w, "  { rank=same; "); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if _, err := fmt.Fprintf(w, "\"d%d@%d\"; ", i, layer); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, "}"); err != nil {
+			return err
+		}
+	}
+	var dotErr error
+	g.Edges(func(e Edge) {
+		if dotErr != nil {
+			return
+		}
+		style := ""
+		if e.Storage {
+			style = " [style=dashed]"
+		} else {
+			style = fmt.Sprintf(" [label=\"a=%g\"]", e.Price)
+		}
+		_, dotErr = fmt.Fprintf(w, "  \"d%d@%d\" -> \"d%d@%d\"%s;\n",
+			int(e.From), e.Slot, int(e.To), e.Slot+1, style)
+	})
+	if dotErr != nil {
+		return dotErr
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,200 @@
+package timegraph
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/interdc/postcard/internal/netmodel"
+)
+
+func completeNet(t *testing.T, n int) *netmodel.Network {
+	t.Helper()
+	nw, err := netmodel.Complete(n, func(i, j netmodel.DC) float64 { return float64(i) + float64(j) + 1 }, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestBuildCounts(t *testing.T) {
+	nw := completeNet(t, 4)
+	g, err := Build(nw, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per slot: 12 transfer links + 4 storage loops; 4 slots.
+	if got, want := g.NumEdges(), 4*(12+4); got != want {
+		t.Errorf("NumEdges = %d, want %d", got, want)
+	}
+	if g.Start() != 3 || g.Horizon() != 4 {
+		t.Errorf("Start/Horizon = %d/%d, want 3/4", g.Start(), g.Horizon())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	nw := completeNet(t, 3)
+	if _, err := Build(nw, -1, 2); err == nil {
+		t.Error("expected error for negative start")
+	}
+	if _, err := Build(nw, 0, 0); err == nil {
+		t.Error("expected error for zero horizon")
+	}
+}
+
+func TestEdgeAt(t *testing.T) {
+	nw := completeNet(t, 3)
+	g, err := Build(nw, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := g.EdgeAt(0, 1, 2)
+	if !ok {
+		t.Fatal("edge 0->1@2 missing")
+	}
+	if e.Storage || e.Price != nw.Price(0, 1) || e.Slot != 2 {
+		t.Errorf("unexpected edge %+v", e)
+	}
+	s, ok := g.EdgeAt(1, 1, 4)
+	if !ok {
+		t.Fatal("storage edge 1@4 missing")
+	}
+	if !s.Storage || s.Price != 0 {
+		t.Errorf("storage edge %+v should be free", s)
+	}
+	if _, ok := g.EdgeAt(0, 1, 5); ok {
+		t.Error("edge beyond horizon should be absent")
+	}
+	if _, ok := g.EdgeAt(0, 1, 1); ok {
+		t.Error("edge before start should be absent")
+	}
+	if _, ok := g.EdgeAt(-1, 1, 2); ok {
+		t.Error("edge with bad DC should be absent")
+	}
+}
+
+func TestEdgeIndexRoundTrip(t *testing.T) {
+	nw := completeNet(t, 3)
+	g, err := Build(nw, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Edges(func(e Edge) {
+		got := g.Edge(e.Index)
+		if got != e {
+			t.Errorf("Edge(%d) = %+v, want %+v", e.Index, got, e)
+		}
+		e2, ok := g.EdgeAt(e.From, e.To, e.Slot)
+		if !ok || e2.Index != e.Index {
+			t.Errorf("EdgeAt(%v,%v,%d) mismatch", e.From, e.To, e.Slot)
+		}
+	})
+}
+
+func TestFileWindow(t *testing.T) {
+	nw := completeNet(t, 3)
+	g, err := Build(nw, 5, 4) // slots 5..8
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := netmodel.File{ID: 1, Src: 0, Dst: 1, Size: 1, Deadline: 3, Release: 5}
+	first, last, ok := g.FileWindow(f)
+	if !ok || first != 5 || last != 7 {
+		t.Errorf("window = [%d,%d] ok=%v, want [5,7] true", first, last, ok)
+	}
+	// Deadline exceeding the horizon is clamped.
+	f.Deadline = 10
+	first, last, ok = g.FileWindow(f)
+	if !ok || first != 5 || last != 8 {
+		t.Errorf("clamped window = [%d,%d] ok=%v, want [5,8] true", first, last, ok)
+	}
+	// Released after the horizon: no window.
+	f.Release = 20
+	if _, _, ok := g.FileWindow(f); ok {
+		t.Error("expected no window for file released beyond horizon")
+	}
+}
+
+func TestReachabilityCompleteGraph(t *testing.T) {
+	nw := completeNet(t, 4)
+	g, err := Build(nw, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := netmodel.File{ID: 1, Src: 0, Dst: 3, Size: 1, Deadline: 3, Release: 0}
+	r := g.FileReachability(f)
+	// At layer 0 only the source may hold data.
+	for i := 0; i < 4; i++ {
+		want := i == 0
+		if got := r.Allowed(f, netmodel.DC(i), 0); got != want {
+			t.Errorf("Allowed(dc %d, layer 0) = %v, want %v", i, got, want)
+		}
+	}
+	// At the deadline layer only the destination may hold data.
+	for i := 0; i < 4; i++ {
+		want := i == 3
+		if got := r.Allowed(f, netmodel.DC(i), 3); got != want {
+			t.Errorf("Allowed(dc %d, layer 3) = %v, want %v", i, got, want)
+		}
+	}
+	// Mid-window all datacenters are reachable in a complete graph.
+	for i := 0; i < 4; i++ {
+		if !r.Allowed(f, netmodel.DC(i), 1) {
+			t.Errorf("Allowed(dc %d, layer 1) = false, want true", i)
+		}
+	}
+	// Outside the window nothing is allowed.
+	if r.Allowed(f, 0, 4) || r.Allowed(f, 3, -1) {
+		t.Error("allowed outside file window")
+	}
+}
+
+func TestReachabilitySparseChain(t *testing.T) {
+	// Chain 0 -> 1 -> 2: reaching node 2 takes two hops.
+	nw, err := netmodel.NewNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetLink(0, 1, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetLink(1, 2, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(nw, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := netmodel.File{ID: 1, Src: 0, Dst: 2, Size: 1, Deadline: 3, Release: 0}
+	r := g.FileReachability(f)
+	if r.Allowed(f, 2, 1) {
+		t.Error("node 2 cannot be reached by layer 1 over a chain")
+	}
+	if !r.Allowed(f, 2, 2) {
+		t.Error("node 2 must be reachable by layer 2")
+	}
+	if r.Allowed(f, 0, 3) {
+		t.Error("holding at the source at the deadline layer cannot reach the destination")
+	}
+	// Node 1 at layer 2: destination still one hop away with one slot left.
+	if !r.Allowed(f, 1, 2) {
+		t.Error("node 1 at layer 2 should be allowed")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	nw := completeNet(t, 2)
+	g, err := Build(nw, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.DOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph", "\"d0@0\" -> \"d1@1\"", "style=dashed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

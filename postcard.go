@@ -1,0 +1,348 @@
+// Package postcard is a Go implementation of Postcard (Feng, Li, Li —
+// IEEE ICDCS 2012): minimizing operational costs on inter-datacenter
+// traffic with store-and-forward at intermediate datacenters.
+//
+// The package is the public facade of the library. It re-exports the
+// supported surface of the internal packages:
+//
+//   - network modeling: datacenters, priced links, percentile-based
+//     charging ledgers (Network, Ledger, Charging, File);
+//   - the Postcard optimizer: an LP on a time-expanded graph that jointly
+//     routes, splits, schedules, and stores traffic (Solve);
+//   - the paper's baselines: the flow-based model in four flavors
+//     (FlowSolve, FlowTwoPhase, FlowGreedy, FlowDirect);
+//   - the Sec. VI extension problems (MaxBulk, MaxUnderBudget, AdmitFiles);
+//   - the online simulator and the experiment driver regenerating the
+//     paper's evaluation figures (Run, RunFigure);
+//   - workload generators and reproducible traces.
+//
+// A minimal end-to-end use:
+//
+//	nw, files, _ := postcard.Fig3Topology(0)
+//	ledger, _ := postcard.NewLedger(nw, postcard.MaxCharging(100))
+//	res, _ := postcard.Solve(ledger, files, 0, nil)
+//	_ = res.Schedule.Apply(ledger)
+//	fmt.Println("cost per interval:", ledger.CostPerSlot())
+//
+// Everything is deterministic given seeds, uses only the standard library,
+// and ships with its own sparse revised-simplex LP solver.
+package postcard
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/interdc/postcard/internal/core"
+	"github.com/interdc/postcard/internal/extensions"
+	"github.com/interdc/postcard/internal/flowbased"
+	"github.com/interdc/postcard/internal/lp"
+	"github.com/interdc/postcard/internal/netmodel"
+	"github.com/interdc/postcard/internal/schedule"
+	"github.com/interdc/postcard/internal/sim"
+	"github.com/interdc/postcard/internal/stats"
+	"github.com/interdc/postcard/internal/timegraph"
+	"github.com/interdc/postcard/internal/workload"
+)
+
+// Network modeling types.
+type (
+	// DC identifies a datacenter by index.
+	DC = netmodel.DC
+	// Link is a directed overlay link between datacenters.
+	Link = netmodel.Link
+	// Network is the inter-datacenter overlay: priced, capacitated links.
+	Network = netmodel.Network
+	// File is the paper's four-tuple (source, destination, size, deadline).
+	File = netmodel.File
+	// Charging is a q-th percentile charging scheme.
+	Charging = netmodel.Charging
+	// Ledger tracks per-slot traffic volumes and charged volumes per link.
+	Ledger = netmodel.Ledger
+	// PiecewiseLinearCost is a non-decreasing piecewise-linear cost curve.
+	PiecewiseLinearCost = netmodel.PiecewiseLinearCost
+	// EvalSetting is one of the paper's four evaluation settings.
+	EvalSetting = netmodel.EvalSetting
+	// Instance is the JSON-serializable offline problem description.
+	Instance = netmodel.Instance
+	// InstanceLink and InstanceFile are Instance components.
+	InstanceLink = netmodel.InstanceLink
+	// InstanceFile describes one file within an Instance.
+	InstanceFile = netmodel.InstanceFile
+)
+
+// Scheduling types.
+type (
+	// Schedule is a routing-and-scheduling plan (transfers and holdovers).
+	Schedule = schedule.Schedule
+	// Action is one scheduled movement or holdover.
+	Action = schedule.Action
+	// VerifyConfig parameterizes the independent schedule verifier.
+	VerifyConfig = schedule.VerifyConfig
+)
+
+// Optimizer types.
+type (
+	// Config tunes the Postcard optimizer.
+	Config = core.Config
+	// Result is a Postcard optimization outcome.
+	Result = core.Result
+	// StoragePolicy controls where store-and-forward holdovers may occur.
+	StoragePolicy = core.StoragePolicy
+	// UnroutableError reports structurally undeliverable files.
+	UnroutableError = core.UnroutableError
+)
+
+// Baseline types.
+type (
+	// FlowConfig tunes the flow-based LP baselines.
+	FlowConfig = flowbased.Config
+	// FlowResult is a flow-based scheduling outcome.
+	FlowResult = flowbased.Result
+	// LinkRate is a static per-link rate of one file's flow.
+	LinkRate = flowbased.LinkRate
+	// UnroutedError reports rates that could not be placed.
+	UnroutedError = flowbased.UnroutedError
+)
+
+// Extension types (Sec. VI problems).
+type (
+	// ExtConfig tunes the extension solvers.
+	ExtConfig = extensions.Config
+	// ExtResult is the outcome of a bulk or budget optimization.
+	ExtResult = extensions.Result
+)
+
+// Simulation types.
+type (
+	// Scheduler makes per-slot decisions in the online simulator.
+	Scheduler = sim.Scheduler
+	// PostcardScheduler adapts the optimizer to the simulator.
+	PostcardScheduler = sim.Postcard
+	// FlowScheduler adapts the flow baselines to the simulator.
+	FlowScheduler = sim.Flow
+	// FlowVariant selects a flow-based baseline implementation.
+	FlowVariant = sim.FlowVariant
+	// RunStats summarizes one simulation run.
+	RunStats = sim.RunStats
+	// Scale sizes an experiment (paper scale or CI scale).
+	Scale = sim.Scale
+	// FigureConfig describes one evaluation figure to regenerate.
+	FigureConfig = sim.FigureConfig
+	// FigureResult is the regenerated data behind one figure.
+	FigureResult = sim.FigureResult
+	// SchedulerSummary aggregates one scheduler across runs.
+	SchedulerSummary = sim.SchedulerSummary
+)
+
+// Workload types.
+type (
+	// WorkloadGenerator produces the files generated at each slot.
+	WorkloadGenerator = workload.Generator
+	// UniformWorkload is the paper's evaluation workload generator.
+	UniformWorkload = workload.Uniform
+	// UniformWorkloadConfig parameterizes UniformWorkload.
+	UniformWorkloadConfig = workload.UniformConfig
+	// DiurnalWorkloadConfig parameterizes the diurnal generator.
+	DiurnalWorkloadConfig = workload.DiurnalConfig
+	// Trace is a recorded, replayable workload.
+	Trace = workload.Trace
+)
+
+// Statistics types.
+type (
+	// Summary is a mean with a 95% confidence interval.
+	Summary = stats.Summary
+)
+
+// Solver status values.
+type SolveStatus = lp.Status
+
+// Solve statuses.
+const (
+	StatusOptimal    = lp.Optimal
+	StatusInfeasible = lp.Infeasible
+	StatusUnbounded  = lp.Unbounded
+	StatusIterLimit  = lp.IterLimit
+)
+
+// Storage policies for Config.Storage.
+const (
+	StorageEverywhere    = core.StorageEverywhere
+	StorageEndpointsOnly = core.StorageEndpointsOnly
+	StorageNone          = core.StorageNone
+)
+
+// Flow-based baseline variants for FlowScheduler.Variant.
+const (
+	FlowLP       = sim.FlowLP
+	FlowTwoPhase = sim.FlowTwoPhase
+	FlowGreedy   = sim.FlowGreedy
+	FlowDirect   = sim.FlowDirect
+)
+
+// SchedulerNames lists the scheduler names understood by SchedulerByName.
+func SchedulerNames() []string {
+	return []string{"postcard", "postcard-nostore", "flow-based", "flow-two-phase", "flow-greedy", "direct"}
+}
+
+// SchedulerByName builds a Scheduler from its command-line name:
+// "postcard", "postcard-nostore" (intermediate storage disabled),
+// "flow-based", "flow-two-phase", "flow-greedy", or "direct".
+func SchedulerByName(name string) (Scheduler, error) {
+	switch name {
+	case "postcard":
+		return &PostcardScheduler{}, nil
+	case "postcard-nostore":
+		return &PostcardScheduler{
+			Label:  "postcard-nostore",
+			Config: &Config{Storage: StorageEndpointsOnly},
+		}, nil
+	case "flow-based":
+		return &FlowScheduler{Variant: FlowLP}, nil
+	case "flow-two-phase":
+		return &FlowScheduler{Variant: FlowTwoPhase}, nil
+	case "flow-greedy":
+		return &FlowScheduler{Variant: FlowGreedy}, nil
+	case "direct":
+		return &FlowScheduler{Variant: FlowDirect}, nil
+	default:
+		return nil, fmt.Errorf("postcard: unknown scheduler %q (known: %s)",
+			name, strings.Join(SchedulerNames(), ", "))
+	}
+}
+
+// NewNetwork creates a network with n datacenters and no links.
+func NewNetwork(n int) (*Network, error) { return netmodel.NewNetwork(n) }
+
+// Complete builds a complete directed network with per-pair prices and a
+// uniform capacity in GB/slot.
+func Complete(n int, price func(i, j DC) float64, capacity float64) (*Network, error) {
+	return netmodel.Complete(n, price, capacity)
+}
+
+// Fig1Topology builds the paper's Fig. 1 motivating example.
+func Fig1Topology() (*Network, File, error) { return netmodel.Fig1Topology() }
+
+// Fig3Topology builds the paper's Fig. 3 worked example, with both files
+// released at the given slot.
+func Fig3Topology(release int) (*Network, []File, error) { return netmodel.Fig3Topology(release) }
+
+// MaxCharging is the 100th-percentile (peak) charging scheme the paper's
+// evaluation uses, over a period of the given number of slots.
+func MaxCharging(periodSlots int) Charging { return netmodel.MaxCharging(periodSlots) }
+
+// NewLedger creates an empty charging ledger for the network.
+func NewLedger(nw *Network, scheme Charging) (*Ledger, error) {
+	return netmodel.NewLedger(nw, scheme)
+}
+
+// Solve runs the Postcard optimizer for the files generated at slot t,
+// given everything already committed in the ledger. See core.Solve.
+func Solve(ledger *Ledger, files []File, t int, cfg *Config) (*Result, error) {
+	return core.Solve(ledger, files, t, cfg)
+}
+
+// FlowSolve runs the optimal flow-based baseline (single LP).
+func FlowSolve(ledger *Ledger, files []File, t int, cfg *FlowConfig) (*FlowResult, error) {
+	return flowbased.Solve(ledger, files, t, cfg)
+}
+
+// FlowTwoPhaseSolve runs the paper's two-phase flow decomposition.
+func FlowTwoPhaseSolve(ledger *Ledger, files []File, t int, cfg *FlowConfig) (*FlowResult, error) {
+	return flowbased.SolveTwoPhase(ledger, files, t, cfg)
+}
+
+// FlowGreedySolve runs the cheapest-available-path heuristic.
+func FlowGreedySolve(ledger *Ledger, files []File, t int) (*FlowResult, error) {
+	return flowbased.SolveGreedy(ledger, files, t)
+}
+
+// FlowDirectSolve sends every file over its direct link (no routing).
+func FlowDirectSolve(ledger *Ledger, files []File, t int) (*FlowResult, error) {
+	return flowbased.Direct(ledger, files, t)
+}
+
+// MaxBulk maximizes bulk volume delivered over already-paid leftover
+// bandwidth (Sec. VI, NetStitcher-style, generalized to multiple files).
+func MaxBulk(ledger *Ledger, files []File, t int, cfg *ExtConfig) (*ExtResult, error) {
+	return extensions.MaxBulk(ledger, files, t, cfg)
+}
+
+// MaxUnderBudget maximizes delivered volume with the charged cost per slot
+// capped at budgetPerSlot (Sec. VI).
+func MaxUnderBudget(ledger *Ledger, files []File, t int, budgetPerSlot float64, cfg *ExtConfig) (*ExtResult, error) {
+	return extensions.MaxUnderBudget(ledger, files, t, budgetPerSlot, cfg)
+}
+
+// AdmitFiles greedily admits whole files under a budget and returns the
+// admitted IDs with the plan.
+func AdmitFiles(ledger *Ledger, files []File, t int, budgetPerSlot float64, cfg *ExtConfig) ([]int, *ExtResult, error) {
+	return extensions.AdmitFiles(ledger, files, t, budgetPerSlot, cfg)
+}
+
+// VerifySchedule re-checks a plan end to end (conservation, capacity,
+// deadlines) independent of any solver.
+func VerifySchedule(s *Schedule, nw *Network, files []File, cfg VerifyConfig) error {
+	return schedule.Verify(s, nw, files, cfg)
+}
+
+// Run executes one online simulation of the scheduler over the workload.
+func Run(ledger *Ledger, sched Scheduler, gen WorkloadGenerator, slots int) (*RunStats, error) {
+	return sim.Run(ledger, sched, gen, slots)
+}
+
+// RunFigure regenerates one of the paper's evaluation figures.
+func RunFigure(cfg FigureConfig) (*FigureResult, error) { return sim.RunFigure(cfg) }
+
+// PaperScale is the exact evaluation scale of Sec. VII.
+func PaperScale() Scale { return sim.PaperScale() }
+
+// CIScale is the reduced scale that preserves the paper's regimes.
+func CIScale() Scale { return sim.CIScale() }
+
+// EvalSettings returns the paper's four evaluation settings (Figs. 4-7).
+func EvalSettings() []EvalSetting { return netmodel.EvalSettings() }
+
+// SettingByFigure looks up the evaluation setting of a paper figure.
+func SettingByFigure(fig int) (EvalSetting, error) { return netmodel.SettingByFigure(fig) }
+
+// NewUniformWorkload creates the paper's uniform workload generator.
+func NewUniformWorkload(cfg UniformWorkloadConfig) (*UniformWorkload, error) {
+	return workload.NewUniform(cfg)
+}
+
+// NewDiurnalWorkload creates a day/night-modulated workload generator.
+func NewDiurnalWorkload(cfg DiurnalWorkloadConfig) (WorkloadGenerator, error) {
+	return workload.NewDiurnal(cfg)
+}
+
+// RecordTrace drains a generator into a replayable trace.
+func RecordTrace(gen WorkloadGenerator, slots int) *Trace { return workload.Record(gen, slots) }
+
+// ReadTrace deserializes a trace written with Trace.WriteJSON.
+func ReadTrace(r io.Reader) (*Trace, error) { return workload.ReadTrace(r) }
+
+// ReadInstance decodes a JSON problem instance.
+func ReadInstance(r io.Reader) (*Instance, error) { return netmodel.ReadInstance(r) }
+
+// InstanceOf captures a network and file set as a serializable Instance.
+func InstanceOf(nw *Network, files []File) *Instance { return netmodel.InstanceOf(nw, files) }
+
+// UniformPrices returns the paper's evaluation pricing: per-link prices
+// drawn uniformly from [1, 10], deterministic in the seed.
+func UniformPrices(seed int64) func(i, j DC) float64 { return workload.UniformPrices(seed) }
+
+// TimeExpandedDOT renders the time-expanded graph of nw over horizon slots
+// starting at slot start, in Graphviz DOT format.
+func TimeExpandedDOT(nw *Network, start, horizon int) (string, error) {
+	tg, err := timegraph.Build(nw, start, horizon)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	if err := tg.DOT(&sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,145 @@
+package postcard_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/interdc/postcard"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end on the paper's
+// Fig. 3 example, asserting the three numbers from Sec. V.
+func TestPublicAPIQuickstart(t *testing.T) {
+	nw, files, err := postcard.Fig3Topology(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger, err := postcard.NewLedger(nw, postcard.MaxCharging(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := postcard.Solve(ledger, files, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != postcard.StatusOptimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if want := 30 + 8.0/3.0; math.Abs(res.CostPerSlot-want) > 1e-5 {
+		t.Errorf("postcard cost = %v, want %v", res.CostPerSlot, want)
+	}
+	flow, err := postcard.FlowSolve(ledger, files, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(flow.CostPerSlot-50) > 1e-5 {
+		t.Errorf("flow cost = %v, want 50", flow.CostPerSlot)
+	}
+	direct, err := postcard.FlowDirectSolve(ledger, files, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(direct.CostPerSlot-52) > 1e-6 {
+		t.Errorf("direct cost = %v, want 52", direct.CostPerSlot)
+	}
+	if err := postcard.VerifySchedule(res.Schedule, nw, files, postcard.VerifyConfig{}); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+	if err := res.Schedule.Apply(ledger); err != nil {
+		t.Fatal(err)
+	}
+	if got := ledger.CostPerSlot(); math.Abs(got-res.CostPerSlot) > 1e-5 {
+		t.Errorf("ledger cost %v != LP cost %v", got, res.CostPerSlot)
+	}
+}
+
+func TestPublicAPIDOT(t *testing.T) {
+	nw, _, err := postcard.Fig1Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot, err := postcard.TimeExpandedDOT(nw, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "d0@0") {
+		t.Errorf("unexpected DOT output:\n%s", dot)
+	}
+}
+
+func TestPublicAPITraceRoundTrip(t *testing.T) {
+	gen, err := postcard.NewUniformWorkload(postcard.UniformWorkloadConfig{
+		NumDCs: 4, MinFiles: 1, MaxFiles: 2,
+		MinSizeGB: 1, MaxSizeGB: 5, MaxDeadline: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := postcard.RecordTrace(gen, 4)
+	var sb strings.Builder
+	if err := trace.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := postcard.ReadTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Files) != len(trace.Files) {
+		t.Errorf("round trip lost files: %d != %d", len(got.Files), len(trace.Files))
+	}
+}
+
+func TestPublicAPISettings(t *testing.T) {
+	if got := len(postcard.EvalSettings()); got != 4 {
+		t.Errorf("settings = %d, want 4", got)
+	}
+	if err := postcard.PaperScale().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := postcard.CIScale().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBenchScaleFigureShape is a fast sanity check that the benchmark-scale
+// experiment still exhibits the paper's headline contrast: Postcard's
+// advantage over flow-based grows when moving from ample capacity with
+// urgent files (Fig. 4) to limited capacity with delay-tolerant files
+// (Fig. 7).
+func TestBenchScaleFigureShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	scale := postcard.Scale{
+		Name: "shape", DCs: 6, Slots: 8, Runs: 2,
+		FilesMin: 2, FilesMax: 5, SizeMinGB: 10, SizeMaxGB: 100, Seed: 2012,
+	}
+	ratio := func(fig int) float64 {
+		setting, err := postcard.SettingByFigure(fig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := postcard.RunFigure(postcard.FigureConfig{
+			Setting: setting,
+			Scale:   scale,
+			Schedulers: []postcard.Scheduler{
+				&postcard.PostcardScheduler{},
+				&postcard.FlowScheduler{Variant: postcard.FlowLP},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Schedulers[0].Final.Mean / res.Schedulers[1].Final.Mean
+	}
+	r4 := ratio(4)
+	r7 := ratio(7)
+	t.Logf("postcard/flow cost ratio: fig4 %.3f, fig7 %.3f", r4, r7)
+	if r7 >= r4 {
+		t.Errorf("expected postcard's relative cost to improve from fig4 (%.3f) to fig7 (%.3f)", r4, r7)
+	}
+	if r7 >= 1 {
+		t.Errorf("expected postcard to beat flow-based on fig7, ratio %.3f", r7)
+	}
+}
