@@ -10,23 +10,26 @@ package postcard_test
 // reproduction is `go run ./cmd/postcard-figs` (optionally -scale paper).
 
 import (
+	"runtime"
 	"testing"
 
 	"github.com/interdc/postcard"
 )
 
 // benchScale is small enough for testing.B iteration but preserves the
-// relative regimes of the paper's four settings.
+// relative regimes of the paper's four settings. Runs is 2 so that the
+// experiment has 4 (run, scheduler) cells — enough independent work for
+// BenchmarkFig4Parallel to fan out over a multicore runner.
 func benchScale() postcard.Scale {
 	return postcard.Scale{
-		Name: "bench", DCs: 6, Slots: 6, Runs: 1,
+		Name: "bench", DCs: 6, Slots: 6, Runs: 2,
 		FilesMin: 2, FilesMax: 5, SizeMinGB: 10, SizeMaxGB: 100, Seed: 2012,
 	}
 }
 
-// benchFigure runs one evaluation figure per b.N iteration and reports the
-// two schedulers' average cost per interval.
-func benchFigure(b *testing.B, figure int) {
+// benchFigure runs one evaluation figure per b.N iteration at the given
+// scale and reports the two schedulers' average cost per interval.
+func benchFigure(b *testing.B, figure int, scale postcard.Scale) {
 	b.Helper()
 	setting, err := postcard.SettingByFigure(figure)
 	if err != nil {
@@ -38,7 +41,7 @@ func benchFigure(b *testing.B, figure int) {
 	for i := 0; i < b.N; i++ {
 		res, err := postcard.RunFigure(postcard.FigureConfig{
 			Setting: setting,
-			Scale:   benchScale(),
+			Scale:   scale,
 			Schedulers: []postcard.Scheduler{
 				&postcard.PostcardScheduler{},
 				&postcard.FlowScheduler{Variant: postcard.FlowLP},
@@ -57,19 +60,30 @@ func benchFigure(b *testing.B, figure int) {
 
 // BenchmarkFig4 regenerates Fig. 4: ample capacity (100 GB/slot), urgent
 // files (T = 3). The paper's result: flow-based beats Postcard.
-func BenchmarkFig4(b *testing.B) { benchFigure(b, 4) }
+func BenchmarkFig4(b *testing.B) { benchFigure(b, 4, benchScale()) }
+
+// BenchmarkFig4Parallel runs the identical Fig. 4 experiment with the
+// worker pool enabled (one worker per CPU). Results are bit-identical to
+// BenchmarkFig4; comparing the two ns/op numbers measures the wall-clock
+// speedup of run-level parallelism (near-linear up to the 4-cell fan-out
+// on a multicore machine, ~1x on a single core).
+func BenchmarkFig4Parallel(b *testing.B) {
+	scale := benchScale()
+	scale.Workers = runtime.GOMAXPROCS(0)
+	benchFigure(b, 4, scale)
+}
 
 // BenchmarkFig5 regenerates Fig. 5: ample capacity, delay-tolerant files
 // (T = 8). Both schedulers get cheaper than Fig. 4.
-func BenchmarkFig5(b *testing.B) { benchFigure(b, 5) }
+func BenchmarkFig5(b *testing.B) { benchFigure(b, 5, benchScale()) }
 
 // BenchmarkFig6 regenerates Fig. 6: limited capacity (30 GB/slot), urgent
 // files. The paper's result: Postcard beats flow-based.
-func BenchmarkFig6(b *testing.B) { benchFigure(b, 6) }
+func BenchmarkFig6(b *testing.B) { benchFigure(b, 6, benchScale()) }
 
 // BenchmarkFig7 regenerates Fig. 7: limited capacity, delay-tolerant
 // files. The paper's result: Postcard wins clearly.
-func BenchmarkFig7(b *testing.B) { benchFigure(b, 7) }
+func BenchmarkFig7(b *testing.B) { benchFigure(b, 7, benchScale()) }
 
 // BenchmarkFig1Example benchmarks the motivating single-file optimization
 // of Fig. 1 (3 datacenters, one file, optimal cost 12).

@@ -10,6 +10,11 @@
 //	postcard-figs -scale paper     # the paper's full 20-DC, 100-slot, 10-run scale
 //	postcard-figs -schedulers postcard,flow-based,flow-greedy,direct
 //	postcard-figs -csv out/        # also write per-slot cost series as CSV
+//	postcard-figs -workers 1       # force sequential execution
+//
+// Independent (run, scheduler) simulation cells run on a worker pool
+// (-workers, default the number of CPUs); the aggregated output is
+// bit-identical regardless of the worker count.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"github.com/interdc/postcard"
@@ -39,6 +45,7 @@ func run() error {
 	slots := flag.Int("slots", 0, "override number of slots")
 	dcs := flag.Int("dcs", 0, "override number of datacenters")
 	filesMax := flag.Int("files-max", 0, "override maximum files per slot")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel (run, scheduler) simulation cells; 1 = sequential (output is identical either way)")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
 	flag.Parse()
 
@@ -63,6 +70,10 @@ func run() error {
 	if *filesMax > 0 {
 		scale.FilesMax = *filesMax
 	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be >= 1, got %d", *workers)
+	}
+	scale.Workers = *workers
 
 	schedulers, err := parseSchedulers(*schedList)
 	if err != nil {

@@ -1,11 +1,16 @@
 // Command postcard-sim runs one online time-slotted simulation with a
 // configurable network, workload, and scheduler, and prints the cost per
-// charging interval over time.
+// charging interval over time. With a comma-separated -scheduler list it
+// replays the identical workload trace through every scheduler — each on
+// its own ledger and replay cursor, concurrently up to -workers — and
+// prints the per-scheduler reports in listed order (output is independent
+// of the worker count).
 //
 // Usage:
 //
 //	postcard-sim -dcs 8 -slots 20 -capacity 30 -maxt 8 -scheduler postcard
 //	postcard-sim -scheduler flow-based -csv costs.csv
+//	postcard-sim -scheduler postcard,flow-based,direct -workers 4
 //	postcard-sim -trace-out trace.json      # save the workload for replay
 //	postcard-sim -trace-in trace.json       # replay a saved workload
 package main
@@ -14,7 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"github.com/interdc/postcard"
 )
@@ -36,33 +43,33 @@ func run() error {
 	sizeMin := flag.Float64("size-min", 10, "minimum file size, GB")
 	sizeMax := flag.Float64("size-max", 100, "maximum file size, GB")
 	seed := flag.Int64("seed", 1, "random seed (prices and workload)")
-	schedName := flag.String("scheduler", "postcard", "postcard | postcard-nostore | flow-based | flow-two-phase | flow-greedy | direct")
-	csvOut := flag.String("csv", "", "write the per-slot cost series to this CSV file")
+	schedNames := flag.String("scheduler", "postcard", "comma-separated list: postcard | postcard-nostore | flow-based | flow-two-phase | flow-greedy | direct")
+	workers := flag.Int("workers", runtime.NumCPU(), "schedulers simulated concurrently (each on its own ledger)")
+	csvOut := flag.String("csv", "", "write the per-slot cost series to this CSV file (one column per scheduler)")
 	traceOut := flag.String("trace-out", "", "record the generated workload to this JSON file")
 	traceIn := flag.String("trace-in", "", "replay a workload recorded with -trace-out")
 	flag.Parse()
+
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be >= 1, got %d", *workers)
+	}
 
 	nw, err := postcard.Complete(*dcs, postcard.UniformPrices(*seed), *capacity)
 	if err != nil {
 		return err
 	}
-	ledger, err := postcard.NewLedger(nw, postcard.MaxCharging(*slots))
-	if err != nil {
-		return err
-	}
 
-	var gen postcard.WorkloadGenerator
+	var trace *postcard.Trace
 	if *traceIn != "" {
 		f, err := os.Open(*traceIn)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		trace, err := readTrace(f)
+		trace, err = postcard.ReadTrace(f)
+		f.Close()
 		if err != nil {
 			return err
 		}
-		gen = trace
 	} else {
 		uni, err := postcard.NewUniformWorkload(postcard.UniformWorkloadConfig{
 			NumDCs:      *dcs,
@@ -76,7 +83,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		trace := postcard.RecordTrace(uni, *slots)
+		trace = postcard.RecordTrace(uni, *slots)
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {
@@ -91,34 +98,85 @@ func run() error {
 			}
 			fmt.Printf("workload trace written to %s\n", *traceOut)
 		}
-		gen = trace
 	}
 
-	sched, err := postcard.SchedulerByName(*schedName)
-	if err != nil {
-		return err
+	var scheds []postcard.Scheduler
+	for _, name := range strings.Split(*schedNames, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s, err := postcard.SchedulerByName(name)
+		if err != nil {
+			return err
+		}
+		scheds = append(scheds, s)
 	}
-	rs, err := postcard.Run(ledger, sched, gen, *slots)
-	if err != nil {
-		return err
+	if len(scheds) == 0 {
+		return fmt.Errorf("no schedulers given")
 	}
 
-	fmt.Printf("scheduler:        %s\n", sched.Name())
-	fmt.Printf("datacenters:      %d (complete, capacity %g GB/slot)\n", *dcs, *capacity)
-	fmt.Printf("slots:            %d\n", *slots)
-	fmt.Printf("files scheduled:  %d (%.1f GB)\n", rs.ScheduledFiles, rs.ScheduledVolume)
-	fmt.Printf("files dropped:    %d (%.1f GB, %.2f%%)\n", rs.DroppedFiles, rs.DroppedVolume, 100*rs.DropRate())
-	fmt.Printf("solve time:       %s\n", rs.Elapsed.Round(1000000))
-	fmt.Printf("final cost/slot:  %.2f\n", rs.FinalCostPerSlot)
-	fmt.Println("\ncost per interval over time:")
-	for t, c := range rs.CostSeries {
-		fmt.Printf("  slot %3d: %10.2f %s\n", t, c, bar(c, rs.FinalCostPerSlot))
+	// Every scheduler replays the identical immutable trace on its own
+	// ledger through its own cursor; up to -workers run concurrently.
+	// Results are collected per index and reported in listed order, so the
+	// output does not depend on the worker count.
+	type outcome struct {
+		stats *postcard.RunStats
+		err   error
+	}
+	outcomes := make([]outcome, len(scheds))
+	sem := make(chan struct{}, *workers)
+	var wg sync.WaitGroup
+	for i, sched := range scheds {
+		wg.Add(1)
+		go func(i int, sched postcard.Scheduler) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ledger, err := postcard.NewLedger(nw, postcard.MaxCharging(*slots))
+			if err != nil {
+				outcomes[i] = outcome{err: err}
+				return
+			}
+			rs, err := postcard.Run(ledger, sched, trace.Replay(), *slots)
+			outcomes[i] = outcome{stats: rs, err: err}
+		}(i, sched)
+	}
+	wg.Wait()
+
+	for i, sched := range scheds {
+		if err := outcomes[i].err; err != nil {
+			return fmt.Errorf("scheduler %s: %w", sched.Name(), err)
+		}
+		rs := outcomes[i].stats
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("scheduler:        %s\n", sched.Name())
+		fmt.Printf("datacenters:      %d (complete, capacity %g GB/slot)\n", *dcs, *capacity)
+		fmt.Printf("slots:            %d\n", *slots)
+		fmt.Printf("files scheduled:  %d (%.1f GB)\n", rs.ScheduledFiles, rs.ScheduledVolume)
+		fmt.Printf("files dropped:    %d (%.1f GB, %.2f%%)\n", rs.DroppedFiles, rs.DroppedVolume, 100*rs.DropRate())
+		fmt.Printf("solve time:       %s\n", rs.Elapsed.Round(1000000))
+		fmt.Printf("final cost/slot:  %.2f\n", rs.FinalCostPerSlot)
+		fmt.Println("\ncost per interval over time:")
+		for t, c := range rs.CostSeries {
+			fmt.Printf("  slot %3d: %10.2f %s\n", t, c, bar(c, rs.FinalCostPerSlot))
+		}
 	}
 	if *csvOut != "" {
 		var b strings.Builder
-		b.WriteString("slot,cost_per_slot\n")
-		for t, c := range rs.CostSeries {
-			fmt.Fprintf(&b, "%d,%.4f\n", t, c)
+		b.WriteString("slot")
+		for _, sched := range scheds {
+			fmt.Fprintf(&b, ",%s", sched.Name())
+		}
+		b.WriteByte('\n')
+		for t := 0; t < *slots; t++ {
+			fmt.Fprintf(&b, "%d", t)
+			for i := range scheds {
+				fmt.Fprintf(&b, ",%.4f", outcomes[i].stats.CostSeries[t])
+			}
+			b.WriteByte('\n')
 		}
 		if err := os.WriteFile(*csvOut, []byte(b.String()), 0o644); err != nil {
 			return err
@@ -140,8 +198,4 @@ func bar(v, maxV float64) string {
 		n = 40
 	}
 	return strings.Repeat("#", n)
-}
-
-func readTrace(f *os.File) (*postcard.Trace, error) {
-	return postcard.ReadTrace(f)
 }

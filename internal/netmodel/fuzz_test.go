@@ -1,0 +1,70 @@
+package netmodel
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadInstance fuzzes the JSON instance decoder: arbitrary input must
+// either fail with an error or yield an Instance that re-encodes and
+// re-decodes to the identical structure, and that Build either rejects or
+// materializes without panicking. The seed corpus includes the shipped
+// cmd/postcard-solve fixture plus handwritten edge cases.
+func FuzzReadInstance(f *testing.F) {
+	if data, err := os.ReadFile("../../cmd/postcard-solve/testdata/relay.json"); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{"datacenters":2,"links":[{"from":0,"to":1,"price":1,"capacity":5}],"files":[{"id":1,"src":0,"dst":1,"size":3,"deadline":2,"release":0}]}`))
+	f.Add([]byte(`{"datacenters":0,"links":null,"files":null}`))
+	f.Add([]byte(`{"datacenters":3,"links":[{"from":-1,"to":9,"price":-2,"capacity":-3}]}`))
+	f.Add([]byte(`{"datacenters":2,"files":[{"id":1,"src":0,"dst":1,"size":1e308,"deadline":1},{"id":1,"src":0,"dst":1,"size":1,"deadline":1}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"datacenters":2,"unknown":true}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, err := ReadInstance(bytes.NewReader(data))
+		if err != nil {
+			if inst != nil {
+				t.Fatalf("ReadInstance returned both an instance and error %v", err)
+			}
+			return
+		}
+		// Round-trip: what we decoded must encode and decode losslessly
+		// (JSON numbers round-trip exactly through Go's float formatting).
+		var buf bytes.Buffer
+		if err := inst.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON failed on decoded instance: %v", err)
+		}
+		again, err := ReadInstance(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding failed: %v", err)
+		}
+		if !reflect.DeepEqual(inst, again) {
+			t.Fatalf("round-trip mismatch:\nfirst  %+v\nsecond %+v", inst, again)
+		}
+		// Build must validate instead of panicking or returning corrupt
+		// structures. Bounded: Build allocates O(datacenters^2), so huge
+		// DC counts (decoder-legal but absurd) are skipped, not built.
+		if inst.Datacenters > 64 || len(inst.Links) > 4096 || len(inst.Files) > 4096 {
+			return
+		}
+		nw, files, err := inst.Build()
+		if err != nil {
+			return
+		}
+		if nw == nil || nw.NumDCs() != inst.Datacenters {
+			t.Fatalf("Build returned nw=%v for %d datacenters", nw, inst.Datacenters)
+		}
+		if len(files) != len(inst.Files) {
+			t.Fatalf("Build returned %d files, instance has %d", len(files), len(inst.Files))
+		}
+		for _, file := range files {
+			if err := file.Validate(nw); err != nil {
+				t.Fatalf("Build let an invalid file through: %v", err)
+			}
+		}
+	})
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/interdc/postcard/internal/netmodel"
@@ -23,6 +25,11 @@ type Scale struct {
 	SizeMinGB float64
 	SizeMaxGB float64
 	Seed      int64
+	// Workers bounds the number of (run, scheduler) simulation cells
+	// RunFigure executes concurrently. 0 or 1 means sequential. The
+	// aggregated FigureResult is identical for every Workers value (see
+	// RunFigure); only wall-clock time changes.
+	Workers int
 }
 
 // PaperScale is the exact configuration of Sec. VII: 20 datacenters, 100
@@ -68,6 +75,9 @@ func (s Scale) Validate() error {
 	if s.FilesMin < 0 || s.FilesMax < s.FilesMin || s.SizeMinGB <= 0 || s.SizeMaxGB < s.SizeMinGB {
 		return fmt.Errorf("sim: invalid workload ranges in scale %+v", s)
 	}
+	if s.Workers < 0 {
+		return fmt.Errorf("sim: negative worker count %d in scale %+v", s.Workers, s)
+	}
 	return nil
 }
 
@@ -84,6 +94,9 @@ type FigureConfig struct {
 	// time-slotted model (one slot = one hop) and will be shed.
 	UniformDeadlines bool
 	// Progress, when non-nil, receives human-readable progress lines.
+	// Invocations are serialized (never concurrent), but with
+	// Scale.Workers > 1 they arrive from worker goroutines in completion
+	// order rather than (run, scheduler) order.
 	Progress func(format string, args ...any)
 }
 
@@ -109,10 +122,100 @@ func DefaultSchedulers() []Scheduler {
 	return []Scheduler{&Postcard{}, &Flow{Variant: FlowLP}}
 }
 
+// effectiveWorkers resolves the worker count for an experiment with the
+// given number of (run, scheduler) cells: Scale.Workers bounded below by 1
+// and above by the cell count, and forced to 1 when any scheduler cannot
+// be cloned (parallel cells must not share scheduler state).
+func (cfg *FigureConfig) effectiveWorkers(cells int) int {
+	w := cfg.Scale.Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > cells {
+		w = cells
+	}
+	if w > 1 {
+		for _, s := range cfg.Schedulers {
+			if _, ok := s.(CloneableScheduler); !ok {
+				return 1
+			}
+		}
+	}
+	return w
+}
+
+// schedulerForCell returns the scheduler instance a cell should run:
+// an independent clone when executing in parallel, the caller's instance
+// itself when sequential (preserving the historical behavior of stateful
+// custom schedulers under Workers <= 1).
+func schedulerForCell(s Scheduler, parallel bool) Scheduler {
+	if !parallel {
+		return s
+	}
+	return s.(CloneableScheduler).CloneScheduler()
+}
+
+// cellResult is the outcome of one (run, scheduler) simulation cell.
+type cellResult struct {
+	stats *RunStats
+	err   error
+}
+
+// runCell executes one (run, scheduler) cell: it rebuilds the run's
+// deterministic network (prices are a pure function of the run seed, so
+// every cell of a run sees a bit-identical network without sharing one),
+// opens a fresh ledger, and replays the run's shared immutable trace
+// through a private cursor.
+func runCell(cfg *FigureConfig, run int, sched Scheduler, trace *workload.Trace) (*RunStats, error) {
+	seed := cfg.Scale.Seed + int64(run)*7919
+	nw, err := netmodel.Complete(cfg.Scale.DCs, workload.UniformPrices(seed), cfg.Setting.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(cfg.Scale.Slots))
+	if err != nil {
+		return nil, err
+	}
+	rs, err := Run(ledger, sched, trace.Replay(), cfg.Scale.Slots)
+	if err != nil {
+		return nil, fmt.Errorf("sim: fig %d run %d scheduler %s: %w",
+			cfg.Setting.Figure, run, sched.Name(), err)
+	}
+	return rs, nil
+}
+
+// recordTrace generates the deterministic workload trace of one run.
+func recordTrace(cfg *FigureConfig, run int) (*workload.Trace, error) {
+	seed := cfg.Scale.Seed + int64(run)*7919
+	gen, err := workload.NewUniform(workload.UniformConfig{
+		NumDCs:        cfg.Scale.DCs,
+		MinFiles:      cfg.Scale.FilesMin,
+		MaxFiles:      cfg.Scale.FilesMax,
+		MinSizeGB:     cfg.Scale.SizeMinGB,
+		MaxSizeGB:     cfg.Scale.SizeMaxGB,
+		MaxDeadline:   cfg.Setting.MaxT,
+		FixedDeadline: !cfg.UniformDeadlines,
+		Seed:          seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return workload.Record(gen, cfg.Scale.Slots), nil
+}
+
 // RunFigure regenerates one evaluation figure: Scale.Runs independent
 // simulations of Scale.Slots slots each, with per-run random prices in
 // [1, 10], per-run workloads, and every scheduler replaying the identical
 // trace on its own ledger.
+//
+// When Scale.Workers > 1 the (run, scheduler) cells execute on a worker
+// pool: every cell gets its own network, ledger, trace-replay cursor, and
+// scheduler clone (see CloneableScheduler), and the per-cell results are
+// reduced in fixed (run, scheduler) order afterwards, so the aggregated
+// FigureResult is bit-identical to a sequential run — only wall-clock time
+// and the interleaving of Progress lines change. Progress callbacks are
+// serialized through a mutex and never invoked concurrently. Schedulers
+// that do not implement CloneableScheduler force sequential execution.
 func RunFigure(cfg FigureConfig) (*FigureResult, error) {
 	if err := cfg.Scale.Validate(); err != nil {
 		return nil, err
@@ -124,6 +227,72 @@ func RunFigure(cfg FigureConfig) (*FigureResult, error) {
 	if progress == nil {
 		progress = func(string, ...any) {}
 	}
+	var progressMu sync.Mutex
+	sayProgress := func(format string, args ...any) {
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		progress(format, args...)
+	}
+
+	nSched := len(cfg.Schedulers)
+	cells := cfg.Scale.Runs * nSched
+	workers := cfg.effectiveWorkers(cells)
+	parallel := workers > 1
+
+	// Per-run traces are generated up front (cheap RNG draws, each run's
+	// stream is independent) and shared read-only across that run's cells.
+	traces := make([]*workload.Trace, cfg.Scale.Runs)
+	for run := range traces {
+		tr, err := recordTrace(&cfg, run)
+		if err != nil {
+			return nil, err
+		}
+		traces[run] = tr
+	}
+
+	// Fan out over cells. results is indexed run*nSched+si so the reduce
+	// below can walk it in the exact order the sequential loop used.
+	results := make([]cellResult, cells)
+	var failed atomic.Bool
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cell := range jobs {
+				if failed.Load() {
+					continue // drain remaining cells after a failure
+				}
+				run, si := cell/nSched, cell%nSched
+				sched := schedulerForCell(cfg.Schedulers[si], parallel)
+				rs, err := runCell(&cfg, run, sched, traces[run])
+				results[cell] = cellResult{stats: rs, err: err}
+				if err != nil {
+					failed.Store(true)
+					continue
+				}
+				sayProgress("fig %d run %d/%d %-14s cost/slot %.1f (%.1fs)",
+					cfg.Setting.Figure, run+1, cfg.Scale.Runs, sched.Name(),
+					rs.FinalCostPerSlot, rs.Elapsed.Seconds())
+			}
+		}()
+	}
+	for cell := 0; cell < cells; cell++ {
+		jobs <- cell
+	}
+	close(jobs)
+	wg.Wait()
+	// Surface the first error in (run, scheduler) order, matching where
+	// the sequential loop would have stopped.
+	for cell := 0; cell < cells; cell++ {
+		if err := results[cell].err; err != nil {
+			return nil, err
+		}
+	}
+
+	// Deterministic reduction: fixed (run, scheduler) order, identical to
+	// the sequential accumulation (float addition is order-sensitive).
 	type agg struct {
 		finals  stats.Accumulator
 		series  []float64
@@ -131,41 +300,13 @@ func RunFigure(cfg FigureConfig) (*FigureResult, error) {
 		dropVol float64
 		elapsed time.Duration
 	}
-	aggs := make([]agg, len(cfg.Schedulers))
+	aggs := make([]agg, nSched)
 	for i := range aggs {
 		aggs[i].series = make([]float64, cfg.Scale.Slots)
 	}
 	for run := 0; run < cfg.Scale.Runs; run++ {
-		seed := cfg.Scale.Seed + int64(run)*7919
-		prices := workload.UniformPrices(seed)
-		nw, err := netmodel.Complete(cfg.Scale.DCs, prices, cfg.Setting.Capacity)
-		if err != nil {
-			return nil, err
-		}
-		gen, err := workload.NewUniform(workload.UniformConfig{
-			NumDCs:        cfg.Scale.DCs,
-			MinFiles:      cfg.Scale.FilesMin,
-			MaxFiles:      cfg.Scale.FilesMax,
-			MinSizeGB:     cfg.Scale.SizeMinGB,
-			MaxSizeGB:     cfg.Scale.SizeMaxGB,
-			MaxDeadline:   cfg.Setting.MaxT,
-			FixedDeadline: !cfg.UniformDeadlines,
-			Seed:          seed + 1,
-		})
-		if err != nil {
-			return nil, err
-		}
-		trace := workload.Record(gen, cfg.Scale.Slots)
-		for si, sched := range cfg.Schedulers {
-			ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(cfg.Scale.Slots))
-			if err != nil {
-				return nil, err
-			}
-			rs, err := Run(ledger, sched, trace, cfg.Scale.Slots)
-			if err != nil {
-				return nil, fmt.Errorf("sim: fig %d run %d scheduler %s: %w",
-					cfg.Setting.Figure, run, sched.Name(), err)
-			}
+		for si := range cfg.Schedulers {
+			rs := results[run*nSched+si].stats
 			aggs[si].finals.Add(rs.FinalCostPerSlot)
 			for t, c := range rs.CostSeries {
 				aggs[si].series[t] += c
@@ -173,9 +314,6 @@ func RunFigure(cfg FigureConfig) (*FigureResult, error) {
 			aggs[si].dropped += rs.DroppedFiles
 			aggs[si].dropVol += rs.DroppedVolume
 			aggs[si].elapsed += rs.Elapsed
-			progress("fig %d run %d/%d %-14s cost/slot %.1f (%.1fs)",
-				cfg.Setting.Figure, run+1, cfg.Scale.Runs, sched.Name(),
-				rs.FinalCostPerSlot, rs.Elapsed.Seconds())
 		}
 	}
 	res := &FigureResult{Setting: cfg.Setting, Scale: cfg.Scale}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/interdc/postcard/internal/netmodel"
+	"github.com/interdc/postcard/internal/stats"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./internal/sim -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenResult builds a fully deterministic FigureResult by hand (real
+// experiments carry wall-clock solve times; here Elapsed is pinned) so the
+// rendered Table and SeriesCSV are stable byte-for-byte.
+func goldenResult() *FigureResult {
+	return &FigureResult{
+		Setting: netmodel.EvalSetting{
+			Name: "limited capacity, urgent", Figure: 6, Capacity: 30, MaxT: 3,
+		},
+		Scale: Scale{
+			Name: "golden", DCs: 8, Slots: 5, Runs: 3,
+			FilesMin: 1, FilesMax: 5, SizeMinGB: 10, SizeMaxGB: 100, Seed: 2012,
+		},
+		Schedulers: []SchedulerSummary{
+			{
+				Name: "postcard",
+				Final: stats.Summary{
+					N: 3, Mean: 2450.125, StdDev: 110.5, CI95Half: 274.4875,
+					Min: 2300.25, Max: 2520.5,
+				},
+				MeanSeries:    []float64{180.5, 655.25, 1200, 1980.625, 2450.125},
+				DroppedFiles:  0,
+				DroppedVolume: 0,
+				Elapsed:       1234 * time.Millisecond,
+			},
+			{
+				Name: "flow-based",
+				Final: stats.Summary{
+					N: 3, Mean: 2890.75, StdDev: 150.25, CI95Half: 373.25,
+					Min: 2700, Max: 3000.5,
+				},
+				MeanSeries:    []float64{210.125, 790.5, 1455.375, 2310.0625, 2890.75},
+				DroppedFiles:  2,
+				DroppedVolume: 155.75,
+				Elapsed:       567 * time.Millisecond,
+			},
+		},
+	}
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output drifted from golden file (run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestFigureTableGolden pins the rendered experiment table byte-for-byte.
+func TestFigureTableGolden(t *testing.T) {
+	checkGolden(t, "figure6-table.golden", goldenResult().Table())
+}
+
+// TestSeriesCSVGolden pins the per-slot cost series CSV byte-for-byte.
+func TestSeriesCSVGolden(t *testing.T) {
+	checkGolden(t, "figure6-series.golden.csv", goldenResult().SeriesCSV())
+}

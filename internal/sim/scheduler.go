@@ -33,6 +33,18 @@ type Scheduler interface {
 	Schedule(ledger *netmodel.Ledger, files []netmodel.File, slot int) (*schedule.Schedule, error)
 }
 
+// CloneableScheduler is implemented by schedulers that can produce an
+// independent copy of themselves. The parallel experiment driver clones
+// one scheduler instance per (run, scheduler) cell so no two goroutines
+// ever share scheduler state; schedulers that do not implement it force
+// RunFigure to fall back to sequential execution (see RunFigure).
+type CloneableScheduler interface {
+	Scheduler
+	// CloneScheduler returns a scheduler equivalent to the receiver that
+	// shares no mutable state with it.
+	CloneScheduler() Scheduler
+}
+
 // Postcard is the Scheduler adapter for the paper's optimizer.
 type Postcard struct {
 	// Config tunes the optimizer; nil selects defaults.
@@ -47,6 +59,22 @@ func (p *Postcard) Name() string {
 		return p.Label
 	}
 	return "postcard"
+}
+
+// CloneScheduler implements CloneableScheduler: the copy deep-copies the
+// optimizer configuration (including LP options) so concurrent cells can
+// never observe each other through a shared Config pointer.
+func (p *Postcard) CloneScheduler() Scheduler {
+	out := &Postcard{Label: p.Label}
+	if p.Config != nil {
+		cfg := *p.Config
+		if p.Config.LP != nil {
+			lpOpts := *p.Config.LP
+			cfg.LP = &lpOpts
+		}
+		out.Config = &cfg
+	}
+	return out
 }
 
 // Schedule implements Scheduler.
@@ -105,6 +133,20 @@ type Flow struct {
 
 // Name implements Scheduler.
 func (f *Flow) Name() string { return f.Variant.String() }
+
+// CloneScheduler implements CloneableScheduler; see Postcard.CloneScheduler.
+func (f *Flow) CloneScheduler() Scheduler {
+	out := &Flow{Variant: f.Variant}
+	if f.Config != nil {
+		cfg := *f.Config
+		if f.Config.LP != nil {
+			lpOpts := *f.Config.LP
+			cfg.LP = &lpOpts
+		}
+		out.Config = &cfg
+	}
+	return out
+}
 
 // Schedule implements Scheduler.
 func (f *Flow) Schedule(ledger *netmodel.Ledger, files []netmodel.File, slot int) (*schedule.Schedule, error) {

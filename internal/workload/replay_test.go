@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/interdc/postcard/internal/netmodel"
+)
+
+// TestTraceReplayMatchesFilesAt: a replay cursor must return exactly what
+// the stateless Trace.FilesAt scan returns, slot by slot, in order.
+func TestTraceReplayMatchesFilesAt(t *testing.T) {
+	gen, err := NewUniform(UniformConfig{
+		NumDCs: 6, MinFiles: 0, MaxFiles: 4,
+		MinSizeGB: 10, MaxSizeGB: 100, MaxDeadline: 3, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Record(gen, 12)
+	cur := tr.Replay()
+	for slot := 0; slot < 14; slot++ { // probe past the end too
+		want := tr.FilesAt(slot)
+		got := cur.FilesAt(slot)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("slot %d: cursor %v, scan %v", slot, got, want)
+		}
+	}
+	if got := cur.FilesAt(-1); got != nil {
+		t.Errorf("FilesAt(-1) = %v, want nil", got)
+	}
+}
+
+// TestTraceReplayEmptyAndUnsorted: empty traces, negative release slots,
+// and out-of-order recordings (only reachable through hand-written JSON)
+// must neither panic nor blow up memory; the cursor answers any slot.
+func TestTraceReplayEmptyAndUnsorted(t *testing.T) {
+	empty := &Trace{}
+	if got := empty.Replay().FilesAt(0); got != nil {
+		t.Errorf("empty replay FilesAt(0) = %v", got)
+	}
+	corrupt := &Trace{Files: []netmodel.File{
+		{ID: 2, Src: 0, Dst: 1, Size: 5, Deadline: 1, Release: 2},
+		{ID: 1, Src: 0, Dst: 1, Size: 5, Deadline: 1, Release: -3},
+		{ID: 3, Src: 1, Dst: 0, Size: 5, Deadline: 1, Release: 2},
+		{ID: 4, Src: 0, Dst: 1, Size: 5, Deadline: 1, Release: 1 << 40},
+	}}
+	cur := corrupt.Replay()
+	if got := cur.FilesAt(2); len(got) != 2 || got[0].ID != 2 || got[1].ID != 3 {
+		t.Errorf("FilesAt(2) = %v, want files 2,3 in recorded order", got)
+	}
+	if got := cur.FilesAt(-3); len(got) != 1 || got[0].ID != 1 {
+		t.Errorf("FilesAt(-3) = %v, want file 1", got)
+	}
+	if got := cur.FilesAt(1 << 40); len(got) != 1 || got[0].ID != 4 {
+		t.Errorf("FilesAt(1<<40) = %v, want file 4", got)
+	}
+	if got := cur.FilesAt(3); got != nil {
+		t.Errorf("FilesAt(3) = %v, want nil", got)
+	}
+}
+
+// TestTraceReplayConcurrent: many cursors over one immutable trace may
+// replay concurrently (run under -race in CI).
+func TestTraceReplayConcurrent(t *testing.T) {
+	gen, err := NewUniform(UniformConfig{
+		NumDCs: 5, MinFiles: 1, MaxFiles: 3,
+		MinSizeGB: 1, MaxSizeGB: 2, MaxDeadline: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Record(gen, 8)
+	want := make([][]netmodel.File, 8)
+	for s := range want {
+		want[s] = tr.FilesAt(s)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cur := tr.Replay()
+			for s := 0; s < 8; s++ {
+				if !reflect.DeepEqual(cur.FilesAt(s), want[s]) {
+					errs[g] = errDiverged
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: replay diverged from scan", g)
+		}
+	}
+}
+
+var errDiverged = &divergedError{}
+
+type divergedError struct{}
+
+func (*divergedError) Error() string { return "replay diverged" }

@@ -10,6 +10,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sort"
 
 	"github.com/interdc/postcard/internal/netmodel"
 )
@@ -177,7 +178,10 @@ func Record(gen Generator, slots int) *Trace {
 	return tr
 }
 
-// FilesAt returns the recorded files released at slot.
+// FilesAt returns the recorded files released at slot. It is stateless
+// (and therefore safe for concurrent use on an immutable trace) but scans
+// the whole trace per call; replaying a full run is O(files x slots). Use
+// Replay for a linear-time per-goroutine cursor.
 func (tr *Trace) FilesAt(slot int) []netmodel.File {
 	var out []netmodel.File
 	for _, f := range tr.Files {
@@ -186,6 +190,47 @@ func (tr *Trace) FilesAt(slot int) []netmodel.File {
 		}
 	}
 	return out
+}
+
+// Replay returns an independent replay cursor over the trace. The cursor
+// indexes the files once — a stable sort by release slot, O(files log
+// files) — so a full replay is near-linear instead of FilesAt's
+// O(files x slots) rescan, and memory stays proportional to the file
+// count even for hostile traces with enormous release slots (a dense
+// per-slot table would let a crafted JSON trace allocate unboundedly).
+// Each cursor is an independent view: concurrent simulations replaying
+// the same immutable Trace must each call Replay and use their own cursor
+// (the Trace itself is never mutated). Files within a slot come back in
+// recorded order, exactly as Trace.FilesAt returns them.
+func (tr *Trace) Replay() *TraceCursor {
+	sorted := make([]netmodel.File, len(tr.Files))
+	copy(sorted, tr.Files)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Release < sorted[j].Release
+	})
+	return &TraceCursor{sorted: sorted}
+}
+
+// TraceCursor is a per-goroutine replay cursor created by Trace.Replay.
+// It implements Generator. Share the Trace, not the cursor: create one
+// cursor per concurrent replay.
+type TraceCursor struct {
+	sorted []netmodel.File // stably sorted by Release
+}
+
+// FilesAt implements Generator, returning the recorded files released at
+// slot in recorded order. Unlike sequential generators it is safe to call
+// with arbitrary (even decreasing) slots.
+func (c *TraceCursor) FilesAt(slot int) []netmodel.File {
+	lo := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i].Release >= slot })
+	hi := lo
+	for hi < len(c.sorted) && c.sorted[hi].Release == slot {
+		hi++
+	}
+	if lo == hi {
+		return nil
+	}
+	return c.sorted[lo:hi:hi]
 }
 
 // MaxSlot reports the last release slot in the trace, or -1 when empty.

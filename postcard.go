@@ -117,6 +117,11 @@ type (
 type (
 	// Scheduler makes per-slot decisions in the online simulator.
 	Scheduler = sim.Scheduler
+	// CloneableScheduler is a Scheduler that can produce independent
+	// copies of itself; RunFigure requires it for parallel execution
+	// (Scale.Workers > 1) so concurrent cells never share state. All
+	// built-in schedulers implement it.
+	CloneableScheduler = sim.CloneableScheduler
 	// PostcardScheduler adapts the optimizer to the simulator.
 	PostcardScheduler = sim.Postcard
 	// FlowScheduler adapts the flow baselines to the simulator.
@@ -147,6 +152,10 @@ type (
 	DiurnalWorkloadConfig = workload.DiurnalConfig
 	// Trace is a recorded, replayable workload.
 	Trace = workload.Trace
+	// TraceCursor is a per-goroutine linear-time replay cursor over a
+	// Trace (see Trace.Replay); concurrent replays of one immutable
+	// trace must each use their own cursor.
+	TraceCursor = workload.TraceCursor
 )
 
 // Statistics types.
@@ -292,7 +301,11 @@ func Run(ledger *Ledger, sched Scheduler, gen WorkloadGenerator, slots int) (*Ru
 	return sim.Run(ledger, sched, gen, slots)
 }
 
-// RunFigure regenerates one of the paper's evaluation figures.
+// RunFigure regenerates one of the paper's evaluation figures. With
+// cfg.Scale.Workers > 1 the independent (run, scheduler) simulation cells
+// execute on a worker pool and are reduced in fixed order, so the result
+// is bit-identical to a sequential run at a fraction of the wall-clock
+// time. See sim.RunFigure.
 func RunFigure(cfg FigureConfig) (*FigureResult, error) { return sim.RunFigure(cfg) }
 
 // PaperScale is the exact evaluation scale of Sec. VII.
