@@ -28,24 +28,32 @@ func benchScale() postcard.Scale {
 }
 
 // benchFigure runs one evaluation figure per b.N iteration at the given
-// scale and reports the two schedulers' average cost per interval.
-func benchFigure(b *testing.B, figure int, scale postcard.Scale) {
+// scale and reports each scheduler's average cost per interval (plus its LP
+// iteration total, for schedulers that report solver work). A fresh
+// scheduler set is built per iteration so stateful schedulers (e.g. the
+// warm-started adapter) never carry counters across iterations.
+func benchFigure(b *testing.B, figure int, scale postcard.Scale, mkSchedulers func() []postcard.Scheduler) {
 	b.Helper()
 	setting, err := postcard.SettingByFigure(figure)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if mkSchedulers == nil {
+		mkSchedulers = func() []postcard.Scheduler {
+			return []postcard.Scheduler{
+				&postcard.PostcardScheduler{},
+				&postcard.FlowScheduler{Variant: postcard.FlowLP},
+			}
+		}
 	}
 	var last *postcard.FigureResult
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := postcard.RunFigure(postcard.FigureConfig{
-			Setting: setting,
-			Scale:   scale,
-			Schedulers: []postcard.Scheduler{
-				&postcard.PostcardScheduler{},
-				&postcard.FlowScheduler{Variant: postcard.FlowLP},
-			},
+			Setting:    setting,
+			Scale:      scale,
+			Schedulers: mkSchedulers(),
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -55,12 +63,15 @@ func benchFigure(b *testing.B, figure int, scale postcard.Scale) {
 	b.StopTimer()
 	for _, s := range last.Schedulers {
 		b.ReportMetric(s.Final.Mean, s.Name+"-cost/slot")
+		if s.Solver.Solves > 0 {
+			b.ReportMetric(float64(s.Solver.Iterations), s.Name+"-lp-iters")
+		}
 	}
 }
 
 // BenchmarkFig4 regenerates Fig. 4: ample capacity (100 GB/slot), urgent
 // files (T = 3). The paper's result: flow-based beats Postcard.
-func BenchmarkFig4(b *testing.B) { benchFigure(b, 4, benchScale()) }
+func BenchmarkFig4(b *testing.B) { benchFigure(b, 4, benchScale(), nil) }
 
 // BenchmarkFig4Parallel runs the identical Fig. 4 experiment with the
 // worker pool enabled (one worker per CPU). Results are bit-identical to
@@ -70,20 +81,35 @@ func BenchmarkFig4(b *testing.B) { benchFigure(b, 4, benchScale()) }
 func BenchmarkFig4Parallel(b *testing.B) {
 	scale := benchScale()
 	scale.Workers = runtime.GOMAXPROCS(0)
-	benchFigure(b, 4, scale)
+	benchFigure(b, 4, scale, nil)
+}
+
+// BenchmarkFig4WarmStart runs Fig. 4 with the cold and the warm-started
+// incremental Postcard solvers side by side on identical traces. The
+// postcard-lp-iters versus postcard-warm-lp-iters metrics quantify the
+// simplex-iteration reduction of cross-slot basis reuse (objectives agree
+// per slot up to the Epsilon tie-breaker; see core.Solver), and the two
+// cost/slot metrics confirm the cost trajectories stay close.
+func BenchmarkFig4WarmStart(b *testing.B) {
+	benchFigure(b, 4, benchScale(), func() []postcard.Scheduler {
+		return []postcard.Scheduler{
+			&postcard.PostcardScheduler{},
+			&postcard.PostcardScheduler{WarmStart: true},
+		}
+	})
 }
 
 // BenchmarkFig5 regenerates Fig. 5: ample capacity, delay-tolerant files
 // (T = 8). Both schedulers get cheaper than Fig. 4.
-func BenchmarkFig5(b *testing.B) { benchFigure(b, 5, benchScale()) }
+func BenchmarkFig5(b *testing.B) { benchFigure(b, 5, benchScale(), nil) }
 
 // BenchmarkFig6 regenerates Fig. 6: limited capacity (30 GB/slot), urgent
 // files. The paper's result: Postcard beats flow-based.
-func BenchmarkFig6(b *testing.B) { benchFigure(b, 6, benchScale()) }
+func BenchmarkFig6(b *testing.B) { benchFigure(b, 6, benchScale(), nil) }
 
 // BenchmarkFig7 regenerates Fig. 7: limited capacity, delay-tolerant
 // files. The paper's result: Postcard wins clearly.
-func BenchmarkFig7(b *testing.B) { benchFigure(b, 7, benchScale()) }
+func BenchmarkFig7(b *testing.B) { benchFigure(b, 7, benchScale(), nil) }
 
 // BenchmarkFig1Example benchmarks the motivating single-file optimization
 // of Fig. 1 (3 datacenters, one file, optimal cost 12).

@@ -38,7 +38,7 @@ func main() {
 func run() error {
 	fig := flag.Int("fig", 0, "figure to regenerate (4-7), 0 = all")
 	scaleName := flag.String("scale", "ci", "experiment scale: ci | paper")
-	schedList := flag.String("schedulers", "postcard,flow-based", "comma-separated scheduler list: postcard, flow-based, flow-two-phase, flow-greedy, direct, postcard-nostore")
+	schedList := flag.String("schedulers", "postcard,flow-based", "comma-separated scheduler list: postcard, postcard-warm, flow-based, flow-two-phase, flow-greedy, direct, postcard-nostore")
 	csvDir := flag.String("csv", "", "directory to write per-slot cost series CSVs into")
 	uniformDeadline := flag.Bool("uniform-deadline", false, "draw deadlines from U[1, maxT] instead of fixing them at maxT")
 	runs := flag.Int("runs", 0, "override number of runs")
@@ -108,6 +108,11 @@ func run() error {
 			return err
 		}
 		fmt.Println(res.Table())
+		// Solver instrumentation, present only when an incremental
+		// scheduler (e.g. postcard-warm) was in the mix.
+		if st := res.SolverTable(); st != "" {
+			fmt.Println(st)
+		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				return err

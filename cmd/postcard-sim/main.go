@@ -43,7 +43,7 @@ func run() error {
 	sizeMin := flag.Float64("size-min", 10, "minimum file size, GB")
 	sizeMax := flag.Float64("size-max", 100, "maximum file size, GB")
 	seed := flag.Int64("seed", 1, "random seed (prices and workload)")
-	schedNames := flag.String("scheduler", "postcard", "comma-separated list: postcard | postcard-nostore | flow-based | flow-two-phase | flow-greedy | direct")
+	schedNames := flag.String("scheduler", "postcard", "comma-separated list: postcard | postcard-warm | postcard-nostore | flow-based | flow-two-phase | flow-greedy | direct")
 	workers := flag.Int("workers", runtime.NumCPU(), "schedulers simulated concurrently (each on its own ledger)")
 	csvOut := flag.String("csv", "", "write the per-slot cost series to this CSV file (one column per scheduler)")
 	traceOut := flag.String("trace-out", "", "record the generated workload to this JSON file")
@@ -159,6 +159,12 @@ func run() error {
 		fmt.Printf("files dropped:    %d (%.1f GB, %.2f%%)\n", rs.DroppedFiles, rs.DroppedVolume, 100*rs.DropRate())
 		fmt.Printf("solve time:       %s\n", rs.Elapsed.Round(1000000))
 		fmt.Printf("final cost/slot:  %.2f\n", rs.FinalCostPerSlot)
+		if sv := rs.Solver; sv.Solves > 0 {
+			fmt.Printf("lp solves:        %d (%d warm-started, %d graph reuses)\n",
+				sv.Solves, sv.WarmSolves, sv.GraphReuses)
+			fmt.Printf("lp iterations:    %d (%d phase-1); presolve removed %d cols, %d rows\n",
+				sv.Iterations, sv.Phase1Iter, sv.PresolveCols, sv.PresolveRows)
+		}
 		fmt.Println("\ncost per interval over time:")
 		for t, c := range rs.CostSeries {
 			fmt.Printf("  slot %3d: %10.2f %s\n", t, c, bar(c, rs.FinalCostPerSlot))

@@ -38,7 +38,7 @@ func main() {
 
 func run() error {
 	input := flag.String("input", "", "instance JSON file ('-' for stdin; empty = built-in Fig. 3 example)")
-	scheduler := flag.String("scheduler", "postcard", "postcard | flow | flow-two-phase | flow-greedy | direct")
+	scheduler := flag.String("scheduler", "postcard", "postcard | postcard-warm | flow | flow-two-phase | flow-greedy | direct")
 	dotOut := flag.String("dot", "", "write the time-expanded graph in DOT format to this file")
 	jsonOut := flag.Bool("json", false, "emit the plan as JSON instead of text")
 	flag.Parse()
@@ -137,6 +137,15 @@ func solve(name string, ledger *postcard.Ledger, files []postcard.File, slot int
 	switch name {
 	case "postcard":
 		res, err := postcard.Solve(ledger, files, slot, nil)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return res.Schedule, res.CostPerSlot, res.Status, nil
+	case "postcard-warm":
+		// One-shot use of the incremental solver: equivalent to "postcard"
+		// for a single solve (the cache is empty), provided for parity with
+		// the simulator's scheduler names.
+		res, err := postcard.NewIncrementalSolver(nil).Solve(ledger, files, slot)
 		if err != nil {
 			return nil, 0, 0, err
 		}

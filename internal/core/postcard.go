@@ -80,6 +80,14 @@ type Result struct {
 	Phase1Iter  int
 	Variables   int
 	Constraints int
+	// WarmStarted reports whether the LP accepted a warm-start basis
+	// (always false for the stateless Solve; see Solver).
+	WarmStarted bool
+	// PresolveCols and PresolveRows count the LP columns and rows removed
+	// by the presolve pass before the simplex ran (zero when presolve was
+	// not enabled or did not fire).
+	PresolveCols int
+	PresolveRows int
 }
 
 // UnroutableError reports files whose destination is structurally
@@ -100,34 +108,65 @@ func (e *UnroutableError) Error() string {
 // Solve computes the optimal Postcard plan for the given files at slot t.
 // Every file must satisfy Release >= t. The ledger supplies residual
 // capacities and the already-charged volume floor X_ij(t-1); it is not
-// modified (callers apply the returned schedule explicitly).
+// modified (callers apply the returned schedule explicitly). Solve is
+// stateless: every call builds its time-expanded graph and LP from scratch
+// and cold-starts the simplex. Online slot-by-slot callers should prefer a
+// Solver, which reuses the graph skeleton and warm-starts consecutive
+// solves from each other's bases.
 func Solve(ledger *netmodel.Ledger, files []netmodel.File, t int, cfg *Config) (*Result, error) {
 	conf := cfg.withDefaults()
-	nw := ledger.Network()
 	if len(files) == 0 {
-		return &Result{
-			Schedule:    &schedule.Schedule{},
-			CostPerSlot: ledger.CostPerSlot(),
-			Status:      lp.Optimal,
-		}, nil
+		return emptyResult(ledger), nil
 	}
+	horizon, err := requiredHorizon(ledger.Network(), files, t)
+	if err != nil {
+		return nil, err
+	}
+	tg, err := timegraph.Build(ledger.Network(), t, horizon)
+	if err != nil {
+		return nil, err
+	}
+	b, err := prepare(tg, ledger, files, conf)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := b.solve(conf.LP)
+	return res, err
+}
+
+// emptyResult is the no-demand shortcut shared by Solve and Solver.Solve.
+func emptyResult(ledger *netmodel.Ledger) *Result {
+	return &Result{
+		Schedule:    &schedule.Schedule{},
+		CostPerSlot: ledger.CostPerSlot(),
+		Status:      lp.Optimal,
+	}
+}
+
+// requiredHorizon validates every file against the network and the solve
+// slot and returns the number of time-expanded slots the LP must cover.
+func requiredHorizon(nw *netmodel.Network, files []netmodel.File, t int) (int, error) {
 	horizon := 0
 	for _, f := range files {
 		if err := f.Validate(nw); err != nil {
-			return nil, err
+			return 0, err
 		}
 		if f.Release < t {
-			return nil, fmt.Errorf("core: file %d released at %d before solve slot %d", f.ID, f.Release, t)
+			return 0, fmt.Errorf("core: file %d released at %d before solve slot %d", f.ID, f.Release, t)
 		}
 		if end := f.Release + f.Deadline - t; end > horizon {
 			horizon = end
 		}
 	}
-	tg, err := timegraph.Build(nw, t, horizon)
-	if err != nil {
-		return nil, err
-	}
-	// Structural routability check before building the LP.
+	return horizon, nil
+}
+
+// prepare runs the structural routability check and assembles the Postcard
+// LP on the given time-expanded graph. The graph's horizon may exceed the
+// files' needs (a Solver reuses one skeleton across slots); surplus layers
+// contribute no variables or rows, so the assembled model is identical to
+// one built on a tight graph.
+func prepare(tg *timegraph.Graph, ledger *netmodel.Ledger, files []netmodel.File, conf Config) (*builder, error) {
 	reach := make([]timegraph.Reachability, len(files))
 	var unroutable []int
 	for k, f := range files {
@@ -140,38 +179,71 @@ func Solve(ledger *netmodel.Ledger, files []netmodel.File, t int, cfg *Config) (
 		sort.Ints(unroutable)
 		return nil, &UnroutableError{FileIDs: unroutable}
 	}
-
 	b := newBuilder(tg, ledger, files, reach, conf)
 	if err := b.build(); err != nil {
 		return nil, err
 	}
-	sol, err := b.model.Solve(conf.LP)
+	return b, nil
+}
+
+// solve runs the assembled LP with the given solver options and converts
+// the outcome into a Result. The raw lp.Solution is returned alongside so
+// the incremental Solver can harvest its basis snapshot.
+func (b *builder) solve(opts *lp.Options) (*Result, *lp.Solution, error) {
+	sol, err := b.model.Solve(opts)
 	if err != nil {
-		return nil, fmt.Errorf("core: solving Postcard LP: %w", err)
+		return nil, nil, fmt.Errorf("core: solving Postcard LP: %w", err)
 	}
 	res := &Result{
-		Status:      sol.Status,
-		Iterations:  sol.Iterations,
-		Phase1Iter:  sol.Phase1Iter,
-		Variables:   b.model.NumVariables(),
-		Constraints: b.model.NumConstraints(),
+		Status:       sol.Status,
+		Iterations:   sol.Iterations,
+		Phase1Iter:   sol.Phase1Iter,
+		Variables:    b.model.NumVariables(),
+		Constraints:  b.model.NumConstraints(),
+		WarmStarted:  sol.WarmStarted,
+		PresolveCols: sol.PresolveCols,
+		PresolveRows: sol.PresolveRows,
 	}
 	if sol.Status != lp.Optimal {
-		return res, nil
+		return res, sol, nil
 	}
 	res.Schedule = b.extractSchedule(sol)
 	res.CostPerSlot = b.chargedCost(sol)
-	if !conf.SkipVerify {
+	if !b.conf.SkipVerify {
 		vc := schedule.VerifyConfig{
-			Residual: func(i, j netmodel.DC, slot int) float64 { return ledger.Residual(i, j, slot) },
+			Residual: func(i, j netmodel.DC, slot int) float64 { return b.ledger.Residual(i, j, slot) },
 			Tol:      1e-4, // GB; matches LP tolerance noise on multi-GB files
 		}
-		if err := schedule.Verify(res.Schedule, nw, files, vc); err != nil {
-			return nil, fmt.Errorf("core: optimizer produced an invalid schedule: %w", err)
+		if err := schedule.Verify(res.Schedule, b.tg.Network(), b.files, vc); err != nil {
+			return nil, nil, fmt.Errorf("core: optimizer produced an invalid schedule: %w", err)
 		}
 	}
-	return res, nil
+	return res, sol, nil
 }
+
+// modelKey identifies one LP column or row of a Postcard model
+// structurally, independent of the model it appears in. Keys let the
+// incremental Solver translate a basis snapshot taken on one slot's model
+// onto the next slot's model: positions whose keys match carry their resting
+// status over, everything else falls back to a safe default. Slots and
+// layers are absolute, so a key minted at slot t still names the same
+// physical quantity at slot t+1.
+type modelKey struct {
+	kind int8
+	file int         // file ID for kindM/kindCons, -1 otherwise
+	from netmodel.DC // link tail, or the datacenter for kindCons
+	to   netmodel.DC // link head, -1 for kindCons
+	slot int         // absolute slot (edges) or layer (kindCons), -1 for kindX
+}
+
+// modelKey kinds.
+const (
+	kindX      int8 = iota + 1 // charged-volume epigraph column of one link
+	kindM                      // per-file edge column
+	kindCap                    // capacity row of one transfer edge
+	kindCharge                 // charge (epigraph) row of one transfer edge
+	kindCons                   // conservation row of one (file, dc, layer)
+)
 
 // builder assembles the Postcard LP.
 type builder struct {
@@ -186,6 +258,10 @@ type builder struct {
 	mvars [][]lp.VarID
 	// xvars maps link -> epigraph variable for the charged volume.
 	xvars map[netmodel.Link]lp.VarID
+	// colKeys[j] / rowKeys[i] are the structural identities of column j and
+	// row i, recorded in the exact AddVariable/AddConstraint order.
+	colKeys []modelKey
+	rowKeys []modelKey
 }
 
 func newBuilder(tg *timegraph.Graph, ledger *netmodel.Ledger, files []netmodel.File, reach []timegraph.Reachability, conf Config) *builder {
@@ -209,6 +285,7 @@ func (b *builder) build() error {
 	nw.Links(func(l netmodel.Link, price, _ float64) {
 		b.xvars[l] = b.model.AddVariable(b.ledger.ChargedVolume(l.From, l.To), pinf,
 			price, fmt.Sprintf("X_%s", l))
+		b.colKeys = append(b.colKeys, modelKey{kind: kindX, file: -1, from: l.From, to: l.To, slot: -1})
 	})
 	// Per-file transfer/holdover variables over the file's subgraph.
 	b.mvars = make([][]lp.VarID, len(b.files))
@@ -245,6 +322,7 @@ func (b *builder) build() error {
 			}
 			name := fmt.Sprintf("M_f%d_%d>%d@%d", f.ID, int(e.From), int(e.To), e.Slot)
 			b.mvars[k][e.Index] = b.model.AddVariable(0, f.Size, obj, name)
+			b.colKeys = append(b.colKeys, modelKey{kind: kindM, file: f.ID, from: e.From, to: e.To, slot: e.Slot})
 		})
 	}
 	if err := b.addCapacityAndCharge(); err != nil {
@@ -280,6 +358,7 @@ func (b *builder) addCapacityAndCharge() error {
 			errOut = err
 			return
 		}
+		b.rowKeys = append(b.rowKeys, modelKey{kind: kindCap, file: -1, from: e.From, to: e.To, slot: e.Slot})
 		// Charge row: sum_k M - X <= -committedVolume.
 		committed := b.ledger.VolumeAt(e.From, e.To, e.Slot)
 		x := b.xvars[netmodel.Link{From: e.From, To: e.To}]
@@ -287,7 +366,9 @@ func (b *builder) addCapacityAndCharge() error {
 		val = append(val, -1)
 		if _, err := b.model.AddConstraint(lp.LE, -committed, idx, val); err != nil {
 			errOut = err
+			return
 		}
+		b.rowKeys = append(b.rowKeys, modelKey{kind: kindCharge, file: -1, from: e.From, to: e.To, slot: e.Slot})
 	})
 	return errOut
 }
@@ -353,6 +434,7 @@ func (b *builder) addConservation() error {
 				if _, err := b.model.AddConstraint(lp.EQ, rhs, idx, val); err != nil {
 					return err
 				}
+				b.rowKeys = append(b.rowKeys, modelKey{kind: kindCons, file: f.ID, from: d, to: -1, slot: layer})
 			}
 		}
 	}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"github.com/interdc/postcard/internal/lp"
+	"github.com/interdc/postcard/internal/netmodel"
+	"github.com/interdc/postcard/internal/timegraph"
+)
+
+// SolveStats aggregates the LP work a Solver performed over its lifetime.
+// All counters are monotone; per-window figures are obtained by subtracting
+// two snapshots (see Sub).
+type SolveStats struct {
+	// Solves counts LP solves actually run (empty-demand slots, which short
+	// circuit without a model, are excluded).
+	Solves int
+	// WarmSolves counts solves in which the simplex accepted the basis
+	// mapped over from the previous slot instead of cold-starting.
+	WarmSolves int
+	// GraphReuses counts solves that recycled the cached time-expanded
+	// graph skeleton via Rebase instead of rebuilding it.
+	GraphReuses int
+	// Iterations and Phase1Iter total the simplex iterations across solves
+	// (Phase1Iter is the feasibility-restoration share of Iterations).
+	Iterations int
+	Phase1Iter int
+	// PresolveCols and PresolveRows total the LP columns and rows the
+	// presolve pass removed before the simplex ran.
+	PresolveCols int
+	PresolveRows int
+}
+
+// Add returns the element-wise sum of two stat snapshots.
+func (s SolveStats) Add(o SolveStats) SolveStats {
+	return SolveStats{
+		Solves:       s.Solves + o.Solves,
+		WarmSolves:   s.WarmSolves + o.WarmSolves,
+		GraphReuses:  s.GraphReuses + o.GraphReuses,
+		Iterations:   s.Iterations + o.Iterations,
+		Phase1Iter:   s.Phase1Iter + o.Phase1Iter,
+		PresolveCols: s.PresolveCols + o.PresolveCols,
+		PresolveRows: s.PresolveRows + o.PresolveRows,
+	}
+}
+
+// Sub returns the element-wise difference s - o, turning two cumulative
+// snapshots into the work performed between them.
+func (s SolveStats) Sub(o SolveStats) SolveStats {
+	return SolveStats{
+		Solves:       s.Solves - o.Solves,
+		WarmSolves:   s.WarmSolves - o.WarmSolves,
+		GraphReuses:  s.GraphReuses - o.GraphReuses,
+		Iterations:   s.Iterations - o.Iterations,
+		Phase1Iter:   s.Phase1Iter - o.Phase1Iter,
+		PresolveCols: s.PresolveCols - o.PresolveCols,
+		PresolveRows: s.PresolveRows - o.PresolveRows,
+	}
+}
+
+// Solver is the incremental counterpart of Solve for online slot-by-slot
+// use: consecutive calls against the same network reuse the time-expanded
+// graph skeleton (rebased instead of rebuilt) and warm-start each LP from
+// the previous slot's optimal basis, translated across models by structural
+// keys (charged-volume columns per link, capacity/charge rows per edge-slot,
+// per-file columns and conservation rows by file identity). The LP presolve
+// pass is enabled on every solve.
+//
+// The cache is advisory only: a mapped basis the simplex cannot use is
+// silently discarded for a cold start, so a Solver's results match the
+// stateless Solve on every input (same optimal objective; the plan may be a
+// different vertex of the same optimal face, with cost differences bounded
+// by the Epsilon tie-breaking term).
+//
+// The cache automatically resets whenever the ledger's network changes
+// identity or the solve slot is neither the cached slot (a shedding retry)
+// nor its immediate successor. A Solver is not safe for concurrent use;
+// parallel drivers must give each goroutine its own instance.
+type Solver struct {
+	conf Config
+
+	nw    *netmodel.Network
+	prevT int
+	valid bool
+	tg    *timegraph.Graph
+	basis *lp.Basis
+	cols  []modelKey
+	rows  []modelKey
+
+	stats SolveStats
+}
+
+// NewSolver creates an incremental solver with the given configuration
+// (nil selects defaults, exactly as Solve does).
+func NewSolver(cfg *Config) *Solver {
+	return &Solver{conf: cfg.withDefaults()}
+}
+
+// Stats returns the cumulative work counters.
+func (s *Solver) Stats() SolveStats { return s.stats }
+
+// Reset drops all cached state; the next Solve cold-starts. Counters are
+// preserved.
+func (s *Solver) Reset() {
+	s.nw = nil
+	s.prevT = 0
+	s.valid = false
+	s.tg = nil
+	s.basis = nil
+	s.cols = nil
+	s.rows = nil
+}
+
+// Solve computes the optimal Postcard plan for the files generated at slot
+// t, exactly as the package-level Solve does, while maintaining the
+// cross-slot cache. See Solver for the reuse contract.
+func (s *Solver) Solve(ledger *netmodel.Ledger, files []netmodel.File, t int) (*Result, error) {
+	nw := ledger.Network()
+	if s.nw != nw || (s.valid && t != s.prevT && t != s.prevT+1) {
+		s.Reset()
+		s.nw = nw
+	}
+	if len(files) == 0 {
+		// No model to solve; the cached structure stays valid for slot t+1
+		// because all keys use absolute slots.
+		if s.valid {
+			s.prevT = t
+		}
+		return emptyResult(ledger), nil
+	}
+	horizon, err := requiredHorizon(nw, files, t)
+	if err != nil {
+		return nil, err
+	}
+	tg, err := s.graphFor(nw, t, horizon)
+	if err != nil {
+		return nil, err
+	}
+	b, err := prepare(tg, ledger, files, s.conf)
+	if err != nil {
+		return nil, err
+	}
+	opts := lp.Options{}
+	if s.conf.LP != nil {
+		opts = *s.conf.LP
+	}
+	opts.Presolve = true
+	if s.valid && s.basis != nil {
+		opts.InitialBasis = mapBasis(s.basis, s.cols, s.rows, b)
+	}
+	res, sol, err := b.solve(&opts)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Solves++
+	s.stats.Iterations += res.Iterations
+	s.stats.Phase1Iter += res.Phase1Iter
+	s.stats.PresolveCols += res.PresolveCols
+	s.stats.PresolveRows += res.PresolveRows
+	if res.WarmStarted {
+		s.stats.WarmSolves++
+	}
+	// Cache the final resting state — also for infeasible outcomes, whose
+	// basis warm-starts the engine's shed-and-retry re-solve of the same
+	// slot with a subset of the files.
+	s.prevT = t
+	s.valid = true
+	if sol.Basis != nil {
+		s.basis = sol.Basis
+		s.cols = b.colKeys
+		s.rows = b.rowKeys
+	} else {
+		s.basis = nil
+		s.cols = nil
+		s.rows = nil
+	}
+	return res, nil
+}
+
+// graphFor returns a time-expanded graph starting at t with at least the
+// given horizon, recycling the cached skeleton when it is large enough.
+// A recycled graph only ever has surplus layers, which contribute nothing
+// to the assembled LP (see prepare), so recycling is invisible to results.
+func (s *Solver) graphFor(nw *netmodel.Network, t, horizon int) (*timegraph.Graph, error) {
+	if s.tg != nil && s.tg.Horizon() >= horizon {
+		if err := s.tg.Rebase(t); err == nil {
+			s.stats.GraphReuses++
+			return s.tg, nil
+		}
+	}
+	tg, err := timegraph.Build(nw, t, horizon)
+	if err != nil {
+		return nil, err
+	}
+	s.tg = tg
+	return tg, nil
+}
+
+// mapBasis translates a basis snapshot captured on a previous model onto
+// the builder's freshly assembled model. Columns and rows whose structural
+// keys match carry their status over; unmatched columns rest at their lower
+// bound and unmatched rows keep their logicals basic (the cold default for
+// that position) — except that files absent from the previous model get a
+// crash route made basic (see crashNewFiles). The result is normalized to
+// the exact basic count the warm-start path requires; any residual rank
+// deficiency is left to the LU factorization's singularity repair. Only map
+// lookups are used — never map iteration — so the mapping is
+// bit-deterministic.
+func mapBasis(prev *lp.Basis, prevCols, prevRows []modelKey, b *builder) *lp.Basis {
+	if prev == nil || prev.NumVars != len(prevCols) || prev.NumRows != len(prevRows) ||
+		len(prev.Status) != prev.NumVars+prev.NumRows {
+		return nil
+	}
+	colStat := make(map[modelKey]lp.BasisStatus, len(prevCols))
+	for j, k := range prevCols {
+		colStat[k] = prev.Status[j]
+	}
+	rowStat := make(map[modelKey]lp.BasisStatus, len(prevRows))
+	for i, k := range prevRows {
+		rowStat[k] = prev.Status[prev.NumVars+i]
+	}
+	nv, nr := len(b.colKeys), len(b.rowKeys)
+	out := &lp.Basis{NumVars: nv, NumRows: nr, Status: make([]lp.BasisStatus, nv+nr)}
+	for j, k := range b.colKeys {
+		if st, ok := colStat[k]; ok {
+			out.Status[j] = st
+		} else {
+			out.Status[j] = lp.BasisAtLower
+		}
+	}
+	for i, k := range b.rowKeys {
+		if st, ok := rowStat[k]; ok {
+			out.Status[nv+i] = st
+		} else {
+			out.Status[nv+i] = lp.BasisBasic
+		}
+	}
+	crashNewFiles(out, rowStat, b)
+	return out.Normalize()
+}
+
+// crashNewFiles upgrades the mapped basis for files the previous model did
+// not contain (on consecutive-slot solves that is all of them; on same-slot
+// shedding retries, none). The cold default rests every such file's flow
+// columns at zero, which violates its conservation equalities by the full
+// file size and leaves phase 1 to route the file from scratch. Instead, each
+// new file's cheapest crash route — ship along a BFS shortest-hop path
+// immediately, then hold at the destination until the deadline — is made
+// basic: every route column is paired with the conservation row of its tail
+// node, whose logical leaves the basis. Walked in route order the pairs form
+// a lower-triangular block (each column's head row is the next column's tail
+// row, and the final head row keeps its basic logical), so the crash never
+// makes the basis singular, and the implied basic solution already carries
+// the file end to end — phase 1 only has to repair capacity overflows where
+// crash routes collide. Files whose route columns are missing (storage
+// policy, clamped horizon) keep the cold default.
+func crashNewFiles(out *lp.Basis, prevRowStat map[modelKey]lp.BasisStatus, b *builder) {
+	var consRow map[modelKey]int
+	for k := range b.files {
+		cols, rows, ok := b.crashRoute(k)
+		if !ok {
+			continue
+		}
+		// A file the previous basis already covers (same-slot retry) keeps
+		// its mapped — optimal — statuses.
+		if _, carried := prevRowStat[rows[0]]; carried {
+			continue
+		}
+		if consRow == nil {
+			consRow = make(map[modelKey]int)
+			for i, rk := range b.rowKeys {
+				if rk.kind == kindCons {
+					consRow[rk] = i
+				}
+			}
+		}
+		// Flip pairs only if every pair is flippable, so the basic count
+		// stays unchanged and the triangular-block argument covers the whole
+		// route.
+		flippable := true
+		for i := range cols {
+			ri, ok := consRow[rows[i]]
+			if !ok || out.Status[out.NumVars+ri] != lp.BasisBasic || out.Status[cols[i]] == lp.BasisBasic {
+				flippable = false
+				break
+			}
+		}
+		if !flippable {
+			continue
+		}
+		for i := range cols {
+			out.Status[cols[i]] = lp.BasisBasic
+			out.Status[out.NumVars+consRow[rows[i]]] = lp.BasisAtLower
+		}
+	}
+}
+
+// crashRoute returns the crash route of file k as parallel column/row-key
+// slices: one model column per route edge (shortest-hop path transfers,
+// then destination holdovers up to the deadline layer) and the
+// conservation-row key of that edge's tail node. ok is false when any
+// needed column is absent from the model.
+func (b *builder) crashRoute(k int) (cols []lp.VarID, rows []modelKey, ok bool) {
+	f := b.files[k]
+	path, ok := shortestHopPath(b.tg.Network(), f.Src, f.Dst)
+	if !ok {
+		return nil, nil, false
+	}
+	hops := len(path) - 1
+	deadlineLayer := f.Release + f.Deadline
+	if clamp := b.tg.Start() + b.tg.Horizon(); deadlineLayer > clamp {
+		deadlineLayer = clamp
+	}
+	if f.Release+hops > deadlineLayer {
+		return nil, nil, false
+	}
+	step := func(from, to netmodel.DC, slot int) bool {
+		e, found := b.tg.EdgeAt(from, to, slot)
+		if !found {
+			return false
+		}
+		v := b.mvars[k][e.Index]
+		if v < 0 {
+			return false
+		}
+		cols = append(cols, v)
+		rows = append(rows, modelKey{kind: kindCons, file: f.ID, from: from, to: -1, slot: slot})
+		return true
+	}
+	for i := 0; i < hops; i++ {
+		if !step(path[i], path[i+1], f.Release+i) {
+			return nil, nil, false
+		}
+	}
+	for s := f.Release + hops; s < deadlineLayer; s++ {
+		if !step(f.Dst, f.Dst, s) {
+			return nil, nil, false
+		}
+	}
+	return cols, rows, true
+}
+
+// shortestHopPath returns a BFS shortest path from src to dst over the
+// network's links, deterministic because neighbors are scanned in ascending
+// datacenter order.
+func shortestHopPath(nw *netmodel.Network, src, dst netmodel.DC) ([]netmodel.DC, bool) {
+	n := nw.NumDCs()
+	prev := make([]netmodel.DC, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	seen := make([]bool, n)
+	seen[src] = true
+	queue := []netmodel.DC{src}
+	for len(queue) > 0 && !seen[dst] {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < n; v++ {
+			d := netmodel.DC(v)
+			if !seen[v] && nw.HasLink(u, d) {
+				seen[v] = true
+				prev[v] = u
+				queue = append(queue, d)
+			}
+		}
+	}
+	if !seen[dst] {
+		return nil, false
+	}
+	var rev []netmodel.DC
+	for d := dst; d != -1; d = prev[d] {
+		rev = append(rev, d)
+	}
+	path := make([]netmodel.DC, len(rev))
+	for i, d := range rev {
+		path[len(rev)-1-i] = d
+	}
+	return path, true
+}

@@ -175,6 +175,22 @@ type Solution struct {
 	Iterations int       // simplex iterations performed across both phases
 	Phase1Iter int       // iterations spent reaching feasibility
 	Factorized int       // number of basis refactorizations
+
+	// Basis is the final simplex resting state, suitable for seeding a
+	// subsequent solve via Options.InitialBasis. It is captured for every
+	// solve that ran the simplex (including infeasible ones, whose basis
+	// still warm-starts a relaxed retry). Under Options.Presolve it is
+	// expressed in the original model's computational form.
+	Basis *Basis
+	// WarmStarted reports whether the solve actually started from
+	// Options.InitialBasis (false when the snapshot was rejected and the
+	// solver fell back to a cold start).
+	WarmStarted bool
+	// PresolveCols and PresolveRows count the variables and constraints the
+	// presolve pass removed before the simplex ran (zero without
+	// Options.Presolve).
+	PresolveCols int
+	PresolveRows int
 }
 
 // Value reports the primal value of v.
@@ -192,6 +208,21 @@ type Options struct {
 	// without it). The reported objective always uses the unperturbed
 	// costs. Default 1e-7; set negative to disable.
 	Perturb float64
+
+	// InitialBasis, when non-nil, seeds the simplex with a previously
+	// captured basis snapshot (Solution.Basis), skipping most of phase 1
+	// when the snapshot is close to optimal for the new data. A snapshot
+	// that does not fit the model or factorizes singular is silently
+	// ignored and the solve cold-starts; correctness never depends on the
+	// snapshot's quality.
+	InitialBasis *Basis
+
+	// Presolve enables a reduction pass before the simplex: fixed columns
+	// are substituted out, singleton rows are folded into variable bounds,
+	// vacuous rows and unconstrained columns are dropped. The returned
+	// Solution (including duals, reduced costs and Basis) is expressed in
+	// the original model via the postsolve map.
+	Presolve bool
 }
 
 func (o *Options) withDefaults(rows, cols int) Options {

@@ -186,3 +186,29 @@ func TestHighlyDegenerateAssignment(t *testing.T) {
 		t.Errorf("took %d iterations on a %dx%d assignment LP", s.Iterations, k, k)
 	}
 }
+
+// TestPerturbationDoesNotFakeUnbounded is a regression test: a variable
+// with zero objective and an infinite bound direction used to pick up a
+// tiny positive perturbed cost, making the perturbed problem look
+// unbounded even though the honest problem is bounded. The solver must
+// strip the perturbation and conclude Optimal.
+func TestPerturbationDoesNotFakeUnbounded(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable(-4, 4, 4, "x")
+	m.AddVariable(ninf(), 4, 0, "ray") // zero cost, unbounded below
+	y := m.AddVariable(-2, 5, -1, "y")
+	z := m.AddVariable(-2, 10, -4, "z")
+	mustCon(t, m, LE, 1, []VarID{x}, []float64{0}) // vacuous
+	s, err := m.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal (perturbation faked unboundedness)", s.Status)
+	}
+	if math.Abs(s.Objective-(-61)) > 1e-7 {
+		t.Errorf("objective = %v, want -61", s.Objective)
+	}
+	_ = y
+	_ = z
+}

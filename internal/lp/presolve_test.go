@@ -1,0 +1,226 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPresolveReducesAndMatches builds a model with one fixed column, one
+// singleton row, one vacuous row and one unconstrained column, and checks
+// the presolved solve removes them and still reports the direct optimum in
+// original variables.
+func TestPresolveReducesAndMatches(t *testing.T) {
+	m := NewModel()
+	f := m.AddVariable(3, 3, 2, "fixed")     // fixed column: substituted out
+	x := m.AddVariable(0, 10, 1, "x")        // singleton row folds x <= 4
+	y := m.AddVariable(0, 10, 1.5, "y")      // stays
+	u := m.AddVariable(0, 7, 5, "unconstr")  // no rows: rests at lower bound
+	mustCon(t, m, LE, 4, []VarID{x}, []float64{1})
+	mustCon(t, m, GE, 9, []VarID{x, y, f}, []float64{1, 1, 1}) // with f=3: x+y >= 6
+	mustCon(t, m, LE, 2, []VarID{f}, []float64{0})             // vacuous 0 <= 2
+	direct, err := m.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := m.Solve(&Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Status != Optimal {
+		t.Fatalf("presolved status %v", pre.Status)
+	}
+	if math.Abs(pre.Objective-direct.Objective) > 1e-7 {
+		t.Fatalf("presolved obj %v, direct %v", pre.Objective, direct.Objective)
+	}
+	if pre.PresolveCols < 2 { // fixed + unconstrained
+		t.Errorf("PresolveCols = %d, want >= 2", pre.PresolveCols)
+	}
+	if pre.PresolveRows < 2 { // singleton + vacuous
+		t.Errorf("PresolveRows = %d, want >= 2", pre.PresolveRows)
+	}
+	if pre.Value(f) != 3 {
+		t.Errorf("fixed variable came back as %v, want 3", pre.Value(f))
+	}
+	if pre.Value(u) != 0 {
+		t.Errorf("unconstrained variable came back as %v, want 0", pre.Value(u))
+	}
+	if err := m.Validate(pre.X, 1e-6); err != nil {
+		t.Fatalf("presolved solution infeasible in original model: %v", err)
+	}
+	if len(pre.X) != 4 || len(pre.Dual) != 3 || len(pre.ReducedObj) != 4 {
+		t.Fatalf("postsolve shapes: X=%d Dual=%d ReducedObj=%d", len(pre.X), len(pre.Dual), len(pre.ReducedObj))
+	}
+	// Duality identity over the ORIGINAL rows and variables.
+	rhs := 0.0
+	for i, r := range m.rows {
+		rhs += pre.Dual[i] * r.rhs
+	}
+	for j := range pre.X {
+		rhs += pre.ReducedObj[j] * pre.X[j]
+	}
+	if math.Abs(pre.Objective-rhs) > 1e-6*(1+math.Abs(pre.Objective)) {
+		t.Errorf("duality identity broken after postsolve: obj=%v, y·b+d·x=%v", pre.Objective, rhs)
+	}
+}
+
+// TestPresolveDetectsInfeasibleSingleton pins that contradictory singleton
+// rows are caught without running the simplex.
+func TestPresolveDetectsInfeasibleSingleton(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable(0, 10, 1, "x")
+	mustCon(t, m, GE, 5, []VarID{x}, []float64{1})
+	mustCon(t, m, LE, 2, []VarID{x}, []float64{1})
+	direct, err := m.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := m.Solve(&Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Status != Infeasible || pre.Status != Infeasible {
+		t.Fatalf("direct=%v presolved=%v, want both infeasible", direct.Status, pre.Status)
+	}
+	if pre.Iterations != 0 {
+		t.Errorf("presolve-detected infeasibility ran %d simplex iterations", pre.Iterations)
+	}
+}
+
+// TestPresolveDetectsVacuousInfeasible pins detection of a row whose
+// variables all vanish but whose rhs cannot be satisfied.
+func TestPresolveDetectsVacuousInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable(0, 10, 1, "x")
+	mustCon(t, m, LE, -3, []VarID{x}, []float64{0}) // 0 <= -3
+	direct, err := m.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := m.Solve(&Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Status != Infeasible || pre.Status != Infeasible {
+		t.Fatalf("direct=%v presolved=%v, want both infeasible", direct.Status, pre.Status)
+	}
+}
+
+// TestPresolveUnboundedColumnLeftToSimplex: a column with an improving
+// unbounded direction and no constraints must not be "fixed" by presolve —
+// the solve must still report unbounded.
+func TestPresolveUnboundedColumnLeftToSimplex(t *testing.T) {
+	m := NewModel()
+	m.AddVariable(0, pinf(), -1, "runaway")
+	pre, err := m.Solve(&Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", pre.Status)
+	}
+}
+
+// TestPresolveRandomEquivalence cross-checks presolved and direct solves on
+// random models: identical status, matching objective, feasible primal
+// point, intact duality identity, and a postsolved basis that warm-starts
+// the next presolved solve.
+func TestPresolveRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(515))
+	optimal, reduced := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		m := presolveRandomModel(rng)
+		direct, err := m.Solve(nil)
+		if err != nil {
+			t.Fatalf("trial %d: direct: %v", trial, err)
+		}
+		pre, err := m.Solve(&Options{Presolve: true})
+		if err != nil {
+			t.Fatalf("trial %d: presolved: %v", trial, err)
+		}
+		if direct.Status == IterLimit || pre.Status == IterLimit {
+			continue
+		}
+		if direct.Status != pre.Status {
+			t.Fatalf("trial %d: status direct=%v presolved=%v", trial, direct.Status, pre.Status)
+		}
+		if pre.PresolveCols > 0 || pre.PresolveRows > 0 {
+			reduced++
+		}
+		if direct.Status != Optimal {
+			continue
+		}
+		optimal++
+		scale := 1 + math.Abs(direct.Objective)
+		if math.Abs(pre.Objective-direct.Objective) > 1e-6*scale {
+			t.Fatalf("trial %d: obj presolved=%v direct=%v", trial, pre.Objective, direct.Objective)
+		}
+		if err := m.Validate(pre.X, 1e-6); err != nil {
+			t.Fatalf("trial %d: presolved point infeasible: %v", trial, err)
+		}
+		rhs := 0.0
+		for i, r := range m.rows {
+			rhs += pre.Dual[i] * r.rhs
+		}
+		for j := range pre.X {
+			rhs += pre.ReducedObj[j] * pre.X[j]
+		}
+		if math.Abs(pre.Objective-rhs) > 1e-4*scale {
+			t.Fatalf("trial %d: duality identity broken: obj=%v, y·b+d·x=%v", trial, pre.Objective, rhs)
+		}
+		if pre.Basis == nil {
+			t.Fatalf("trial %d: presolved solve has no basis", trial)
+		}
+		if nv, nr := len(m.obj), len(m.rows); pre.Basis.NumVars != nv || pre.Basis.NumRows != nr {
+			t.Fatalf("trial %d: postsolved basis is %dx%d, model is %dx%d",
+				trial, pre.Basis.NumVars, pre.Basis.NumRows, nv, nr)
+		}
+		// Round trip: the postsolved basis must warm-start the same
+		// presolved model back to the same optimum.
+		again, err := m.Solve(&Options{Presolve: true, InitialBasis: pre.Basis})
+		if err != nil {
+			t.Fatalf("trial %d: warm presolved: %v", trial, err)
+		}
+		if again.Status != Optimal || math.Abs(again.Objective-direct.Objective) > 1e-6*scale {
+			t.Fatalf("trial %d: warm presolved status %v obj %v, want %v",
+				trial, again.Status, again.Objective, direct.Objective)
+		}
+	}
+	if optimal < 60 {
+		t.Fatalf("only %d optimal instances", optimal)
+	}
+	if reduced < 30 {
+		t.Fatalf("presolve only fired on %d instances; generator too tame", reduced)
+	}
+}
+
+// presolveRandomModel biases randomModel's distribution toward structures
+// presolve can act on: fixed columns, singleton rows, vacuous rows.
+func presolveRandomModel(rng *rand.Rand) *Model {
+	m := randomModel(rng)
+	n := len(m.obj)
+	if n > 0 && rng.Intn(2) == 0 { // add a fixed column used by a row
+		v := float64(rng.Intn(5))
+		f := m.AddVariable(v, v, float64(rng.Intn(7)-3), "")
+		j := VarID(rng.Intn(n))
+		if _, err := m.AddConstraint(LE, float64(5+rng.Intn(10)), []VarID{f, j}, []float64{1, 1}); err != nil {
+			panic(err)
+		}
+	}
+	if n > 0 && rng.Intn(2) == 0 { // singleton row
+		sense := []Sense{LE, GE}[rng.Intn(2)]
+		coef := float64(rng.Intn(5) - 2)
+		if coef == 0 {
+			coef = 1
+		}
+		if _, err := m.AddConstraint(sense, float64(rng.Intn(13)-4), []VarID{VarID(rng.Intn(n))}, []float64{coef}); err != nil {
+			panic(err)
+		}
+	}
+	if rng.Intn(3) == 0 && n > 0 { // vacuous row (zero coefficient)
+		if _, err := m.AddConstraint(LE, float64(rng.Intn(6)), []VarID{VarID(rng.Intn(n))}, []float64{0}); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}

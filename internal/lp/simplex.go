@@ -133,6 +133,8 @@ type simplex struct {
 	iters       int
 	phase1Iters int
 	factorCount int
+	warmStarted bool
+	perturbOff  bool // cost perturbation has been stripped mid-solve
 	bland       bool
 	stallCount  int
 	goodSteps   int // consecutive non-degenerate steps while in Bland mode
@@ -155,10 +157,7 @@ func (s *simplex) nbValue(j int) float64 {
 // any singularity repairs to the basis bookkeeping, clears the eta file,
 // and recomputes basic variable values from scratch.
 func (s *simplex) refactorize() error {
-	cols := func(k int) ([]int, []float64) {
-		return s.cf.a.ColumnSlices(s.basis[k])
-	}
-	lu, err := sparse.Factorize(s.cf.m, cols, s.opt.PivotTol*1e-2)
+	lu, err := sparse.FactorizeBasis(s.cf.a, s.basis, s.opt.PivotTol*1e-2)
 	if err != nil {
 		return fmt.Errorf("lp: basis factorization: %w", err)
 	}
@@ -651,10 +650,42 @@ func (s *simplex) noteStep(t float64) {
 	s.stallCount = 0
 }
 
+// clearPerturbation strips the deterministic cost perturbation mid-solve,
+// restoring the honest costs. It reports whether anything changed; the
+// latch guarantees it fires at most once per solve, so the phase-2 loop
+// cannot spin on it.
+func (s *simplex) clearPerturbation() bool {
+	if s.perturbOff {
+		return false
+	}
+	s.perturbOff = true
+	changed := false
+	for j := range s.cf.c {
+		if s.cf.c[j] != s.cf.c0[j] {
+			changed = true
+			break
+		}
+	}
+	copy(s.cf.c, s.cf.c0)
+	return changed
+}
+
 // Solve optimizes the model with the sparse revised simplex and returns the
 // solution. The model is not modified. Status is always set on the returned
 // Solution when err is nil.
+//
+// With Options.Presolve the model is reduced first and the solution mapped
+// back; with Options.InitialBasis the simplex is seeded from the snapshot
+// (falling back to a cold start when the snapshot does not fit).
 func (m *Model) Solve(opts *Options) (*Solution, error) {
+	if opts != nil && opts.Presolve {
+		return m.solvePresolved(opts)
+	}
+	return m.solveDirect(opts)
+}
+
+// solveDirect runs the simplex on the model as-is.
+func (m *Model) solveDirect(opts *Options) (*Solution, error) {
 	cf, err := m.buildCompForm()
 	if err != nil {
 		return nil, err
@@ -673,23 +704,28 @@ func (m *Model) Solve(opts *Options) (*Solution, error) {
 		scratch: make([]float64, cf.m),
 		rhs:     make([]float64, cf.m),
 	}
-	// Start from the all-logical basis; structurals rest at a finite bound.
-	for j := 0; j < cf.n; j++ {
-		switch {
-		case !math.IsInf(cf.lo[j], -1):
-			s.vstat[j] = vAtLower
-		case !math.IsInf(cf.hi[j], 1):
-			s.vstat[j] = vAtUpper
-		default:
-			s.vstat[j] = vFree
+	if opt.InitialBasis != nil && s.tryWarmStart(opt.InitialBasis) {
+		s.warmStarted = true
+	} else {
+		// Cold start from the all-logical basis; structurals rest at a
+		// finite bound.
+		for j := 0; j < cf.n; j++ {
+			switch {
+			case !math.IsInf(cf.lo[j], -1):
+				s.vstat[j] = vAtLower
+			case !math.IsInf(cf.hi[j], 1):
+				s.vstat[j] = vAtUpper
+			default:
+				s.vstat[j] = vFree
+			}
 		}
-	}
-	for i := 0; i < cf.m; i++ {
-		s.basis[i] = cf.n + i
-		s.vstat[cf.n+i] = vBasic
-	}
-	if err := s.refactorize(); err != nil {
-		return nil, err
+		for i := 0; i < cf.m; i++ {
+			s.basis[i] = cf.n + i
+			s.vstat[cf.n+i] = vBasic
+		}
+		if err := s.refactorize(); err != nil {
+			return nil, err
+		}
 	}
 
 	status, err := s.run()
@@ -809,6 +845,13 @@ func (s *simplex) runPhase2() (Status, bool, error) {
 		s.ftran(q)
 		res := s.ratioTest(q, dir, false)
 		if res.unbound {
+			// An unbounded certificate under perturbed costs may be an
+			// artifact: a truly zero-cost ray picks up a tiny perturbed
+			// cost and looks improving. Strip the perturbation and
+			// re-price with the honest costs before concluding.
+			if s.clearPerturbation() {
+				continue
+			}
 			return Unbounded, true, nil
 		}
 		if err := s.pivot(q, dir, res); err != nil {
@@ -822,13 +865,15 @@ func (s *simplex) runPhase2() (Status, bool, error) {
 // solution extracts a Solution in the original model's terms.
 func (s *simplex) solution(m *Model, status Status) *Solution {
 	sol := &Solution{
-		Status:     status,
-		X:          make([]float64, s.cf.n),
-		Dual:       make([]float64, s.cf.m),
-		ReducedObj: make([]float64, s.cf.n),
-		Iterations: s.iters,
-		Phase1Iter: s.phase1Iters,
-		Factorized: s.factorCount,
+		Status:      status,
+		X:           make([]float64, s.cf.n),
+		Dual:        make([]float64, s.cf.m),
+		ReducedObj:  make([]float64, s.cf.n),
+		Iterations:  s.iters,
+		Phase1Iter:  s.phase1Iters,
+		Factorized:  s.factorCount,
+		Basis:       s.captureBasis(),
+		WarmStarted: s.warmStarted,
 	}
 	if status != Optimal && status != IterLimit {
 		return sol

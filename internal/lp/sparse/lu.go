@@ -205,6 +205,28 @@ func Factorize(n int, column func(k int) ([]int, []float64), pivTol float64) (*L
 	return f, nil
 }
 
+// FactorizeBasis factorizes the square basis matrix whose k-th column is
+// column basis[k] of a. It is the entry point the revised simplex uses both
+// for cold refactorizations and for factorizing a caller-supplied warm
+// basis: the column order is exactly the basis order, so pivot-position
+// bookkeeping in the returned LU matches the simplex's row positions. Each
+// basis entry must index a column of a; a's row count must equal
+// len(basis).
+func FactorizeBasis(a *Matrix, basis []int, pivTol float64) (*LU, error) {
+	if a.Rows != len(basis) {
+		return nil, fmt.Errorf("sparse: basis of %d columns for a matrix with %d rows", len(basis), a.Rows)
+	}
+	for k, j := range basis {
+		if j < 0 || j >= a.Cols {
+			return nil, fmt.Errorf("sparse: basis position %d references column %d of a %dx%d matrix",
+				k, j, a.Rows, a.Cols)
+		}
+	}
+	return Factorize(len(basis), func(k int) ([]int, []float64) {
+		return a.ColumnSlices(basis[k])
+	}, pivTol)
+}
+
 func clearWorkspace(x []float64, mark []bool, pattern []int) {
 	for _, j := range pattern {
 		x[j] = 0

@@ -251,3 +251,37 @@ func BenchmarkLUSolve200(b *testing.B) {
 		f.Solve(rhs, x, scratch)
 	}
 }
+
+// TestFactorizeBasis checks the basis-selection entry point: factorizing
+// columns [2, 0] of a 2x3 matrix must reproduce B = [a_2, a_0] and solve
+// against it, and malformed bases must be rejected.
+func TestFactorizeBasis(t *testing.T) {
+	a, err := NewFromTriplets(2, 3, []Triplet{
+		{0, 0, 2}, {1, 0, 1},
+		{0, 1, 1},
+		{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu, err := FactorizeBasis(a, []int{2, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B = [[0, 2], [3, 1]]; solve B x = [2, 4] -> x = [10/9... ] check via residual.
+	x := make([]float64, 2)
+	scratch := make([]float64, 2)
+	lu.Solve([]float64{2, 4}, x, scratch)
+	if r0 := 0*x[0] + 2*x[1] - 2; r0 > 1e-12 || r0 < -1e-12 {
+		t.Errorf("residual row 0 = %v", r0)
+	}
+	if r1 := 3*x[0] + 1*x[1] - 4; r1 > 1e-12 || r1 < -1e-12 {
+		t.Errorf("residual row 1 = %v", r1)
+	}
+	if _, err := FactorizeBasis(a, []int{0}, 0); err == nil {
+		t.Error("expected error for basis/row-count mismatch")
+	}
+	if _, err := FactorizeBasis(a, []int{0, 5}, 0); err == nil {
+		t.Error("expected error for out-of-range basis column")
+	}
+}

@@ -32,10 +32,43 @@ func (c Charging) Validate() error {
 	return nil
 }
 
+// percentileRank computes the exact 1-based rank ceil(q/100 * period) of a
+// q-th percentile over period slots, clamped to [1, period].
+//
+// The naive float expression math.Ceil(q/100*float64(period)) over-ranks 40
+// integer (q, period) combinations in [1,100]x[1,300] — e.g. q=7, period=100
+// evaluates 0.07*100 to 7.000000000000001 and rounds the rank up to 8,
+// charging the wrong slot's volume. Integral percentiles therefore use exact
+// integer arithmetic, and fractional ones an epsilon-guarded ceiling.
+func percentileRank(q float64, period int) int {
+	var rank int
+	if q == math.Trunc(q) {
+		rank = (int(q)*period + 99) / 100
+	} else {
+		v := q / 100 * float64(period)
+		rank = int(math.Ceil(v - 1e-9*(1+math.Abs(v))))
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > period {
+		rank = period
+	}
+	return rank
+}
+
 // ChargedVolume computes the charged volume for one link given the per-slot
 // volumes observed so far. Slots beyond len(volumes) and up to PeriodSlots
 // count as zero-traffic slots, exactly as an ISP meter would record them.
+// When more than PeriodSlots volumes are recorded the period is extended to
+// cover them (see Ledger for the ledger-wide consistent treatment).
 func (c Charging) ChargedVolume(volumes []float64) float64 {
+	return c.chargedVolume(volumes, c.PeriodSlots)
+}
+
+// chargedVolume is ChargedVolume over an explicit period, which must be at
+// least c.PeriodSlots; recorded slots beyond it still extend it.
+func (c Charging) chargedVolume(volumes []float64, period int) float64 {
 	if len(volumes) == 0 {
 		return 0
 	}
@@ -48,11 +81,10 @@ func (c Charging) ChargedVolume(volumes []float64) float64 {
 		}
 		return peak
 	}
-	period := c.PeriodSlots
 	if len(volumes) > period {
 		period = len(volumes)
 	}
-	rank := int(math.Ceil(c.Q / 100 * float64(period))) // 1-based
+	rank := percentileRank(c.Q, period) // 1-based
 	zeros := period - len(volumes)
 	if rank <= zeros {
 		return 0
@@ -70,6 +102,7 @@ type Ledger struct {
 	nw      *Network
 	scheme  Charging
 	volumes [][]float64 // [linkIndex][slot], grown on demand
+	maxSlot int         // highest slot with recorded traffic, -1 when none
 }
 
 // NewLedger creates an empty ledger for the network under the scheme.
@@ -78,7 +111,7 @@ func NewLedger(nw *Network, scheme Charging) (*Ledger, error) {
 		return nil, err
 	}
 	n := nw.NumDCs()
-	return &Ledger{nw: nw, scheme: scheme, volumes: make([][]float64, n*n)}, nil
+	return &Ledger{nw: nw, scheme: scheme, volumes: make([][]float64, n*n), maxSlot: -1}, nil
 }
 
 // Network returns the network the ledger charges for.
@@ -107,11 +140,30 @@ func (l *Ledger) Add(i, j DC, slot int, amount float64) error {
 		l.volumes[k] = append(l.volumes[k], 0)
 	}
 	l.volumes[k][slot] += amount
+	if slot > l.maxSlot {
+		l.maxSlot = slot
+	}
 	return nil
 }
 
-// VolumeAt reports the volume recorded on link i->j during slot.
+// EffectivePeriodSlots reports the charging period actually in force: the
+// scheme's PeriodSlots, extended when traffic has been recorded beyond it.
+// Recording past the nominal period is permitted (an over-running
+// simulation keeps metering) and extends the period uniformly for every
+// link, so percentile ranks and TotalCost stay mutually consistent.
+func (l *Ledger) EffectivePeriodSlots() int {
+	if p := l.maxSlot + 1; p > l.scheme.PeriodSlots {
+		return p
+	}
+	return l.scheme.PeriodSlots
+}
+
+// VolumeAt reports the volume recorded on link i->j during slot. It is 0
+// for non-existent links.
 func (l *Ledger) VolumeAt(i, j DC, slot int) float64 {
+	if !l.nw.HasLink(i, j) {
+		return 0
+	}
 	k := l.nw.idx(i, j)
 	if slot < 0 || slot >= len(l.volumes[k]) {
 		return 0
@@ -121,9 +173,15 @@ func (l *Ledger) VolumeAt(i, j DC, slot int) float64 {
 
 // ChargedVolume reports the charged volume of link i->j over the slots
 // recorded so far — the running X_ij of the paper under the 100th
-// percentile, or the percentile estimate under general q.
+// percentile, or the percentile estimate under general q. Non-existent
+// links charge 0. The percentile is taken over EffectivePeriodSlots, so a
+// link with fewer recorded slots than another is padded with zeros to the
+// same ledger-wide period.
 func (l *Ledger) ChargedVolume(i, j DC) float64 {
-	return l.scheme.ChargedVolume(l.volumes[l.nw.idx(i, j)])
+	if !l.nw.HasLink(i, j) {
+		return 0
+	}
+	return l.scheme.chargedVolume(l.volumes[l.nw.idx(i, j)], l.EffectivePeriodSlots())
 }
 
 // CostPerSlot reports the cost per time interval with the current charged
@@ -138,9 +196,12 @@ func (l *Ledger) CostPerSlot() float64 {
 }
 
 // TotalCost reports the cost over the whole charging period: CostPerSlot
-// times the period length.
+// times EffectivePeriodSlots. When traffic was recorded beyond the nominal
+// period the extension is costed consistently with the extended percentile
+// ranks ChargedVolume uses, rather than silently mixing an extended
+// percentile with the nominal period length.
 func (l *Ledger) TotalCost() float64 {
-	return l.CostPerSlot() * float64(l.scheme.PeriodSlots)
+	return l.CostPerSlot() * float64(l.EffectivePeriodSlots())
 }
 
 // Residual reports the unreserved capacity of link i->j at slot, in GB:
@@ -155,15 +216,35 @@ func (l *Ledger) Residual(i, j DC, slot int) float64 {
 }
 
 // PaidHeadroom reports how much more traffic link i->j could carry at slot
-// without raising its 100th-percentile charge: max(0, X_ij - volume(slot)),
-// additionally clamped by the residual capacity. This is the "already paid"
-// volume the flow-based decomposition fills first.
+// without raising its charge, clamped by the residual capacity. This is the
+// "already paid" volume the flow-based decomposition fills first.
+//
+// Under the 100th percentile this is max(0, X_ij - volume(slot)). Under
+// general q the same safety argument generalizes per order statistics:
+// raising any slot's volume up to the charged (rank-th) volume X cannot
+// move the rank-th order statistic, and raising a slot already strictly
+// above X cannot move it either; only growing a slot sitting exactly at X
+// risks raising the charge, so such slots report zero headroom.
 func (l *Ledger) PaidHeadroom(i, j DC, slot int) float64 {
-	head := l.ChargedVolume(i, j) - l.VolumeAt(i, j, slot)
-	if head < 0 {
+	if !l.nw.HasLink(i, j) {
+		return 0
+	}
+	charged := l.ChargedVolume(i, j)
+	vol := l.VolumeAt(i, j, slot)
+	r := l.Residual(i, j, slot)
+	var head float64
+	switch {
+	case vol < charged:
+		head = charged - vol
+	case vol > charged:
+		// Already above the percentile: this slot's volume no longer
+		// influences the rank-th order statistic (q < 100 only; under
+		// q = 100 the charge is the peak and vol > charged cannot occur).
+		head = r
+	default:
 		head = 0
 	}
-	if r := l.Residual(i, j, slot); head > r {
+	if head > r {
 		head = r
 	}
 	return head
@@ -171,7 +252,7 @@ func (l *Ledger) PaidHeadroom(i, j DC, slot int) float64 {
 
 // Clone returns a deep copy of the ledger, used for what-if evaluation.
 func (l *Ledger) Clone() *Ledger {
-	cp := &Ledger{nw: l.nw, scheme: l.scheme, volumes: make([][]float64, len(l.volumes))}
+	cp := &Ledger{nw: l.nw, scheme: l.scheme, volumes: make([][]float64, len(l.volumes)), maxSlot: l.maxSlot}
 	for k, vs := range l.volumes {
 		if len(vs) == 0 {
 			continue

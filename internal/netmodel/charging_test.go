@@ -1,0 +1,372 @@
+package netmodel
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactRankRef computes the 1-based rank ceil(q/100 * period) with rational
+// arithmetic, independently of percentileRank's float paths. It applies the
+// same documented guard band for fractional q — values within
+// 1e-9*(1+v) of an integer count as that integer — which for integral q is
+// far below the 1/100 granularity of the exact value and therefore inert.
+func exactRankRef(q float64, period int) int {
+	v := new(big.Rat).Mul(new(big.Rat).SetFloat64(q), big.NewRat(int64(period), 100))
+	guard := new(big.Rat).Mul(big.NewRat(1, 1e9), new(big.Rat).Add(big.NewRat(1, 1), v))
+	v.Sub(v, guard)
+	rank := new(big.Int).Div(v.Num(), v.Denom()) // floor (denominator > 0)
+	if new(big.Int).Mul(rank, v.Denom()).Cmp(v.Num()) != 0 {
+		rank.Add(rank, big.NewInt(1)) // ceil
+	}
+	k := int(rank.Int64())
+	if k < 1 {
+		k = 1
+	}
+	if k > period {
+		k = period
+	}
+	return k
+}
+
+// TestPercentileRankExactSweep checks percentileRank against exact rational
+// arithmetic for every integer (q, period) in [1,100] x [1,300] — the grid
+// over which the former float expression math.Ceil(q/100*period) over-ranks
+// exactly 40 combinations — and documents the bug by asserting the naive
+// formula really does disagree on those 40, including (7,100), (14,50) and
+// (28,25).
+func TestPercentileRankExactSweep(t *testing.T) {
+	naiveMismatch := map[[2]int]bool{}
+	for q := 1; q <= 100; q++ {
+		for period := 1; period <= 300; period++ {
+			want := (q*period + 99) / 100 // exact integer ceil(q*period/100)
+			if want < 1 {
+				want = 1
+			}
+			if ref := exactRankRef(float64(q), period); ref != want {
+				t.Fatalf("reference disagrees with integer ceil at q=%d period=%d: %d vs %d", q, period, ref, want)
+			}
+			if got := percentileRank(float64(q), period); got != want {
+				t.Errorf("percentileRank(%d, %d) = %d, want %d", q, period, got, want)
+			}
+			naive := int(math.Ceil(float64(q) / 100 * float64(period)))
+			if naive != want {
+				naiveMismatch[[2]int{q, period}] = true
+			}
+		}
+	}
+	if len(naiveMismatch) != 40 {
+		t.Errorf("naive float formula mismatches on %d pairs, want 40", len(naiveMismatch))
+	}
+	for _, pair := range [][2]int{{7, 100}, {14, 50}, {28, 25}} {
+		if !naiveMismatch[pair] {
+			t.Errorf("expected naive formula to over-rank at (q=%d, period=%d)", pair[0], pair[1])
+		}
+	}
+}
+
+// TestChargedVolumeRankRegression pins the end-to-end effect of the rank fix:
+// at (q=7, period=100) with 100 distinct volumes the charge is the 7th
+// smallest, not the 8th the buggy ceiling selected.
+func TestChargedVolumeRankRegression(t *testing.T) {
+	cases := []struct {
+		q      float64
+		period int
+	}{
+		{7, 100}, {14, 50}, {28, 25}, {55, 100}, {56, 200},
+	}
+	for _, c := range cases {
+		vols := make([]float64, c.period)
+		for i := range vols {
+			vols[i] = float64(i + 1) // sorted: padded[k-1] = k
+		}
+		rng := rand.New(rand.NewSource(42))
+		rng.Shuffle(len(vols), func(i, j int) { vols[i], vols[j] = vols[j], vols[i] })
+		want := float64((int(c.q)*c.period + 99) / 100)
+		got := Charging{Q: c.q, PeriodSlots: c.period}.ChargedVolume(vols)
+		if got != want {
+			t.Errorf("q=%v period=%d: charged %v, want %v", c.q, c.period, got, want)
+		}
+	}
+}
+
+// TestPercentileRankFractional spot-checks fractional percentiles, including
+// values sitting exactly on and just off integer ranks.
+func TestPercentileRankFractional(t *testing.T) {
+	cases := []struct {
+		q      float64
+		period int
+		want   int
+	}{
+		{12.5, 8, 1},    // exact integer product: 1.0
+		{12.5, 16, 2},   // exact: 2.0
+		{37.5, 8, 3},    // exact: 3.0
+		{50.5, 10, 6},   // 5.05 -> 6
+		{99.9, 10, 10},  // 9.99 -> 10
+		{0.1, 300, 1},   // 0.3 -> 1
+		{33.4, 3, 2},    // 1.002 -> 2
+		{66.7, 3, 3},    // 2.001 -> 3
+		{0.001, 5, 1},   // clamps up to 1
+		{99.99, 1, 1},   // clamps down to period
+	}
+	for _, c := range cases {
+		if got := percentileRank(c.q, c.period); got != c.want {
+			t.Errorf("percentileRank(%v, %d) = %d, want %d", c.q, c.period, got, c.want)
+		}
+		if ref := exactRankRef(c.q, c.period); ref != c.want {
+			t.Errorf("exactRankRef(%v, %d) = %d, want %d", c.q, c.period, ref, c.want)
+		}
+	}
+}
+
+// TestLedgerPeriodExtension pins the chosen over-period semantics: recording
+// traffic beyond the nominal charging period extends the period uniformly
+// for every link, and TotalCost multiplies by the same extended period the
+// percentile ranks use.
+func TestLedgerPeriodExtension(t *testing.T) {
+	nw, err := Complete(3, func(_, _ DC) float64 { return 2 }, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLedger(nw, Charging{Q: 100, PeriodSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.EffectivePeriodSlots(); got != 2 {
+		t.Fatalf("empty ledger period = %d, want nominal 2", got)
+	}
+	if err := l.Add(0, 1, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.EffectivePeriodSlots(); got != 2 {
+		t.Fatalf("in-period recording changed period to %d", got)
+	}
+	// Slot 4 is beyond the 2-slot nominal period: the period extends to 5.
+	if err := l.Add(0, 1, 4, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.EffectivePeriodSlots(); got != 5 {
+		t.Fatalf("extended period = %d, want 5", got)
+	}
+	// TotalCost = CostPerSlot * extended period, not the nominal 2.
+	wantCost := 2.0 * 7 * 5 // price * peak * extended slots
+	if got := l.TotalCost(); math.Abs(got-wantCost) > 1e-12 {
+		t.Errorf("TotalCost = %v, want %v", got, wantCost)
+	}
+	// The extension is ledger-wide: a percentile link with only in-period
+	// traffic is padded to the same extended period. Q=75 over the nominal
+	// 2 slots has rank 2, charging the one busy slot; over the extended 5
+	// slots the rank is 4, which lands on a padded zero.
+	lp, err := NewLedger(nw, Charging{Q: 75, PeriodSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lp.Add(1, 2, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if got := lp.ChargedVolume(1, 2); got != 9 {
+		t.Fatalf("rank 2 of 2 slots: charged = %v, want 9", got)
+	}
+	if err := lp.Add(0, 1, 4, 1); err != nil { // other link extends the period
+		t.Fatal(err)
+	}
+	if got := lp.ChargedVolume(1, 2); got != 0 {
+		t.Errorf("after ledger-wide extension to 5 slots, rank 4 should hit padding: charged = %v, want 0", got)
+	}
+	// Both links now charge via rank ceil(0.75*5) = 4 over 5 padded slots,
+	// which lands on a zero for each, so the period-extended total is 0.
+	if got := lp.TotalCost(); got != 0 {
+		t.Errorf("TotalCost = %v, want 0 under extended percentile", got)
+	}
+}
+
+// TestLedgerNonExistentLinkGuards pins that read-side accessors return 0 for
+// absent links and out-of-range DCs instead of panicking or misindexing.
+func TestLedgerNonExistentLinkGuards(t *testing.T) {
+	nw, err := NewNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetLink(0, 1, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLedger(nw, MaxCharging(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add(0, 1, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	type probe struct{ i, j DC }
+	for _, p := range []probe{{1, 0}, {2, 1}, {0, 0}, {-1, 1}, {0, 99}, {99, -5}} {
+		if got := l.ChargedVolume(p.i, p.j); got != 0 {
+			t.Errorf("ChargedVolume(%d,%d) = %v, want 0", p.i, p.j, got)
+		}
+		if got := l.VolumeAt(p.i, p.j, 0); got != 0 {
+			t.Errorf("VolumeAt(%d,%d,0) = %v, want 0", p.i, p.j, got)
+		}
+		if got := l.PaidHeadroom(p.i, p.j, 0); got != 0 {
+			t.Errorf("PaidHeadroom(%d,%d,0) = %v, want 0", p.i, p.j, got)
+		}
+	}
+	// The real link still reads through.
+	if got := l.ChargedVolume(0, 1); got != 4 {
+		t.Errorf("ChargedVolume(0,1) = %v, want 4", got)
+	}
+}
+
+// TestPaidHeadroomPercentile pins PaidHeadroom's general-q semantics: below
+// the charged volume the headroom tops the slot up to it; strictly above,
+// the slot no longer influences the rank-th order statistic and the full
+// residual is free; exactly at it, zero.
+func TestPaidHeadroomPercentile(t *testing.T) {
+	nw, err := Complete(2, func(_, _ DC) float64 { return 1 }, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLedger(nw, Charging{Q: 50, PeriodSlots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot, v := range []float64{2, 4, 6, 8} {
+		if err := l.Add(0, 1, slot, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// rank = ceil(0.5*4) = 2 -> charged = 2nd smallest = 4.
+	if got := l.ChargedVolume(0, 1); got != 4 {
+		t.Fatalf("charged = %v, want 4", got)
+	}
+	cases := []struct {
+		slot int
+		want float64
+	}{
+		{0, 2},  // vol 2 < charged 4: top up to the charge
+		{1, 0},  // exactly at the charge: growing it would raise the charge
+		{2, 94}, // vol 6 > charged: full residual 100-6
+		{3, 92}, // vol 8 > charged: full residual 100-8
+	}
+	for _, c := range cases {
+		if got := l.PaidHeadroom(0, 1, c.slot); got != c.want {
+			t.Errorf("PaidHeadroom slot %d = %v, want %v", c.slot, got, c.want)
+		}
+	}
+}
+
+// TestPaidHeadroomNeverRaisesCharge property-checks the safety contract
+// under random percentile schemes: adding the reported headroom to that
+// slot's volume never raises the charged volume.
+func TestPaidHeadroomNeverRaisesCharge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		nw, err := Complete(2, func(_, _ DC) float64 { return 1 }, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := 1 + 99*rng.Float64()
+		if trial%5 == 0 {
+			q = float64(1 + rng.Intn(100)) // exercise the integral path too
+		}
+		period := 1 + rng.Intn(12)
+		l, err := NewLedger(nw, Charging{Q: q, PeriodSlots: period})
+		if err != nil {
+			t.Fatal(err)
+		}
+		used := rng.Intn(period + 1)
+		for slot := 0; slot < used; slot++ {
+			if err := l.Add(0, 1, slot, math.Floor(rng.Float64()*32)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		slot := rng.Intn(period)
+		head := l.PaidHeadroom(0, 1, slot)
+		if head < 0 {
+			t.Fatalf("trial %d: negative headroom %v", trial, head)
+		}
+		if head > l.Residual(0, 1, slot) {
+			t.Fatalf("trial %d: headroom %v exceeds residual", trial, head)
+		}
+		if head == 0 {
+			continue
+		}
+		before := l.ChargedVolume(0, 1)
+		if err := l.Add(0, 1, slot, head); err != nil {
+			t.Fatal(err)
+		}
+		after := l.ChargedVolume(0, 1)
+		if after > before+1e-9 {
+			t.Fatalf("trial %d (q=%v period=%d slot=%d head=%v): charge rose %v -> %v",
+				trial, q, period, slot, head, before, after)
+		}
+	}
+}
+
+// TestPaidHeadroomPeakUnchanged re-pins the 100th-percentile behaviour the
+// flow-based decomposition depends on: headroom is exactly X - volume.
+func TestPaidHeadroomPeakUnchanged(t *testing.T) {
+	nw, err := Complete(2, func(_, _ DC) float64 { return 1 }, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLedger(nw, MaxCharging(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add(0, 1, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.PaidHeadroom(0, 1, 1); got != 7 {
+		t.Errorf("empty slot headroom = %v, want 7", got)
+	}
+	if got := l.PaidHeadroom(0, 1, 0); got != 0 {
+		t.Errorf("peak slot headroom = %v, want 0", got)
+	}
+	if err := l.Add(0, 1, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.PaidHeadroom(0, 1, 1); got != 4 {
+		t.Errorf("partially used slot headroom = %v, want 4", got)
+	}
+}
+
+// TestChargedVolumeIsMultisetElement pins that the charge is always an
+// element of the zero-padded volume multiset (or 0/peak in the edge cases),
+// selected at the exact rank.
+func TestChargedVolumeIsMultisetElement(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 1000; trial++ {
+		q := 1 + 99*rng.Float64()
+		if trial%3 == 0 {
+			q = float64(1 + rng.Intn(100))
+		}
+		period := 1 + rng.Intn(40)
+		used := rng.Intn(period + 4) // sometimes beyond the period
+		vols := make([]float64, used)
+		for i := range vols {
+			vols[i] = rng.Float64() * 20
+		}
+		c := Charging{Q: q, PeriodSlots: period}
+		got := c.ChargedVolume(vols)
+		eff := period
+		if used > eff {
+			eff = used
+		}
+		padded := make([]float64, eff)
+		copy(padded, vols)
+		sort.Float64s(padded)
+		var want float64
+		if used == 0 {
+			want = 0
+		} else if q >= 100 {
+			want = padded[eff-1]
+		} else {
+			want = padded[exactRankRef(q, eff)-1]
+		}
+		if got != want {
+			t.Fatalf("trial %d (q=%v period=%d used=%d): charged %v, want %v",
+				trial, q, period, used, got, want)
+		}
+	}
+}

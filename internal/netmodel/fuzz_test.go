@@ -2,8 +2,11 @@ package netmodel
 
 import (
 	"bytes"
+	"math"
+	"math/rand"
 	"os"
 	"reflect"
+	"sort"
 	"testing"
 )
 
@@ -65,6 +68,76 @@ func FuzzReadInstance(f *testing.F) {
 			if err := file.Validate(nw); err != nil {
 				t.Fatalf("Build let an invalid file through: %v", err)
 			}
+		}
+	})
+}
+
+// FuzzChargedVolume fuzzes the percentile charging scheme: for any percentile
+// q in (0, 100], any period, and any recorded volumes, the charged volume
+// must be the element of the zero-padded sorted volume multiset at the exact
+// rank ceil(q/100 * effectivePeriod) — never off by one (the float-ceiling
+// bug this pins down over-ranked 40 integer (q, period) combinations).
+func FuzzChargedVolume(f *testing.F) {
+	f.Add(7.0, 100, int64(1), 100)
+	f.Add(14.0, 50, int64(2), 50)
+	f.Add(28.0, 25, int64(3), 25)
+	f.Add(100.0, 10, int64(4), 6)
+	f.Add(50.0, 10, int64(5), 0)
+	f.Add(0.5, 300, int64(6), 12)
+	f.Add(99.999, 3, int64(7), 5) // recorded beyond the period
+
+	f.Fuzz(func(t *testing.T, qRaw float64, periodRaw int, seed int64, usedRaw int) {
+		q := qRaw
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			return
+		}
+		q = math.Mod(math.Abs(q), 100)
+		if q == 0 {
+			q = 100
+		}
+		period := periodRaw%300 + 1
+		if period < 1 {
+			period += 300
+		}
+		used := usedRaw % (period + 8)
+		if used < 0 {
+			used = -used
+		}
+		rng := rand.New(rand.NewSource(seed))
+		vols := make([]float64, used)
+		for i := range vols {
+			vols[i] = math.Floor(rng.Float64()*1000) / 8
+		}
+		c := Charging{Q: q, PeriodSlots: period}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("scheme q=%v period=%d failed validation: %v", q, period, err)
+		}
+		got := c.ChargedVolume(vols)
+
+		eff := period
+		if used > eff {
+			eff = used
+		}
+		padded := make([]float64, eff)
+		copy(padded, vols)
+		sort.Float64s(padded)
+		var want float64
+		switch {
+		case used == 0:
+			want = 0
+		case q >= 100:
+			want = padded[eff-1]
+		default:
+			want = padded[exactRankRef(q, eff)-1]
+		}
+		if got != want {
+			t.Fatalf("q=%v period=%d used=%d: charged %v, want multiset element %v at exact rank",
+				q, period, used, got, want)
+		}
+		// The charge is always an element of the padded multiset.
+		idx := sort.SearchFloat64s(padded, got)
+		if idx >= len(padded) || padded[idx] != got {
+			t.Fatalf("charged volume %v is not an element of the padded multiset", got)
 		}
 	})
 }

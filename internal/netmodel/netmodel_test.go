@@ -156,15 +156,13 @@ func TestChargingMatchesNaiveSort(t *testing.T) {
 		}
 		c := Charging{Q: q, PeriodSlots: period}
 		got := c.ChargedVolume(vols)
-		// Naive reference: pad, sort, index.
+		// Reference: pad, sort, index at the exact rank ceil(q/100*period),
+		// computed with rational arithmetic so the reference itself cannot
+		// suffer the float over-ranking bug percentileRank guards against.
 		padded := make([]float64, period)
 		copy(padded, vols)
 		sort.Float64s(padded)
-		rank := int(math.Ceil(q / 100 * float64(period)))
-		if rank < 1 {
-			rank = 1
-		}
-		want := padded[rank-1]
+		want := padded[exactRankRef(q, period)-1]
 		return math.Abs(got-want) < 1e-12
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/interdc/postcard/internal/core"
 	"github.com/interdc/postcard/internal/netmodel"
 	"github.com/interdc/postcard/internal/workload"
 )
@@ -25,6 +26,11 @@ type RunStats struct {
 	DroppedVolume float64
 	// Elapsed is the total scheduling time.
 	Elapsed time.Duration
+	// Solver is the LP work this run performed, when the scheduler reports
+	// it (see SolverStatsReporter); the zero value otherwise. It is a
+	// per-run delta, not a cumulative counter, so per-run values sum
+	// deterministically across any execution order.
+	Solver core.SolveStats
 }
 
 // DropRate reports the fraction of offered volume that was shed.
@@ -50,6 +56,11 @@ func Run(ledger *netmodel.Ledger, sched Scheduler, gen workload.Generator, slots
 		return nil, fmt.Errorf("sim: negative slot count %d", slots)
 	}
 	stats := &RunStats{CostSeries: make([]float64, 0, slots)}
+	var solverBase core.SolveStats
+	reporter, hasReporter := sched.(SolverStatsReporter)
+	if hasReporter {
+		solverBase = reporter.SolverStats()
+	}
 	start := time.Now()
 	for t := 0; t < slots; t++ {
 		files := gen.FilesAt(t)
@@ -88,6 +99,9 @@ func Run(ledger *netmodel.Ledger, sched Scheduler, gen workload.Generator, slots
 		stats.CostSeries = append(stats.CostSeries, ledger.CostPerSlot())
 	}
 	stats.Elapsed = time.Since(start)
+	if hasReporter {
+		stats.Solver = reporter.SolverStats().Sub(solverBase)
+	}
 	if n := len(stats.CostSeries); n > 0 {
 		stats.FinalCostPerSlot = stats.CostSeries[n-1]
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/interdc/postcard/internal/core"
 	"github.com/interdc/postcard/internal/netmodel"
 	"github.com/interdc/postcard/internal/stats"
 	"github.com/interdc/postcard/internal/workload"
@@ -108,6 +109,9 @@ type SchedulerSummary struct {
 	DroppedFiles  int
 	DroppedVolume float64
 	Elapsed       time.Duration
+	// Solver sums the per-run LP work deltas for schedulers that report
+	// them (see SolverStatsReporter); the zero value otherwise.
+	Solver core.SolveStats
 }
 
 // FigureResult is the regenerated data behind one evaluation figure.
@@ -299,6 +303,7 @@ func RunFigure(cfg FigureConfig) (*FigureResult, error) {
 		dropped int
 		dropVol float64
 		elapsed time.Duration
+		solver  core.SolveStats
 	}
 	aggs := make([]agg, nSched)
 	for i := range aggs {
@@ -314,6 +319,7 @@ func RunFigure(cfg FigureConfig) (*FigureResult, error) {
 			aggs[si].dropped += rs.DroppedFiles
 			aggs[si].dropVol += rs.DroppedVolume
 			aggs[si].elapsed += rs.Elapsed
+			aggs[si].solver = aggs[si].solver.Add(rs.Solver)
 		}
 	}
 	res := &FigureResult{Setting: cfg.Setting, Scale: cfg.Scale}
@@ -329,6 +335,7 @@ func RunFigure(cfg FigureConfig) (*FigureResult, error) {
 			DroppedFiles:  aggs[si].dropped,
 			DroppedVolume: aggs[si].dropVol,
 			Elapsed:       aggs[si].elapsed,
+			Solver:        aggs[si].solver,
 		})
 	}
 	return res, nil
@@ -347,6 +354,39 @@ func (r *FigureResult) Table() string {
 	for _, s := range r.Schedulers {
 		fmt.Fprintf(&b, "%-16s %14.2f %14.2f %10d %12s\n",
 			s.Name, s.Final.Mean, s.Final.CI95Half, s.DroppedFiles, s.Elapsed.Round(10*time.Millisecond))
+	}
+	return b.String()
+}
+
+// SolverTable renders the aggregated LP solver counters for every
+// scheduler that performed instrumented solves (Solver.Solves > 0), one row
+// per scheduler: solve count, warm-start acceptance, graph skeleton reuses,
+// simplex iterations with the phase-1 share, and the columns/rows the
+// presolve pass removed. It returns the empty string when no scheduler
+// reported solver work, so plain (cold) runs render exactly as before.
+func (r *FigureResult) SolverTable() string {
+	any := false
+	for _, s := range r.Schedulers {
+		if s.Solver.Solves > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "LP solver work (fig %d):\n", r.Setting.Figure)
+	fmt.Fprintf(&b, "%-16s %8s %8s %8s %10s %10s %10s %10s\n",
+		"scheduler", "solves", "warm", "reuses", "iters", "phase1", "pre-cols", "pre-rows")
+	for _, s := range r.Schedulers {
+		if s.Solver.Solves == 0 {
+			continue
+		}
+		st := s.Solver
+		fmt.Fprintf(&b, "%-16s %8d %8d %8d %10d %10d %10d %10d\n",
+			s.Name, st.Solves, st.WarmSolves, st.GraphReuses,
+			st.Iterations, st.Phase1Iter, st.PresolveCols, st.PresolveRows)
 	}
 	return b.String()
 }

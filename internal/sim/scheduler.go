@@ -45,12 +45,33 @@ type CloneableScheduler interface {
 	CloneScheduler() Scheduler
 }
 
+// SolverStatsReporter is implemented by schedulers that track cumulative LP
+// solver work. The engine snapshots the counters around each run and stores
+// the difference in RunStats.Solver; the experiment driver then sums the
+// per-run deltas in fixed order, so the aggregated figures stay bit
+// identical for any worker count.
+type SolverStatsReporter interface {
+	// SolverStats returns the cumulative counters since the scheduler was
+	// created.
+	SolverStats() core.SolveStats
+}
+
 // Postcard is the Scheduler adapter for the paper's optimizer.
 type Postcard struct {
 	// Config tunes the optimizer; nil selects defaults.
 	Config *core.Config
-	// Label overrides Name; defaults to "postcard".
+	// Label overrides Name; defaults to "postcard" ("postcard-warm" when
+	// WarmStart is set).
 	Label string
+	// WarmStart enables the incremental core.Solver: consecutive slots
+	// reuse the time-expanded graph skeleton and warm-start each LP from
+	// the previous slot's basis (with the LP presolve pass enabled). Costs
+	// match the cold path up to the optimizer's Epsilon tie-breaking term;
+	// see core.Solver.
+	WarmStart bool
+
+	solver *core.Solver    // lazily created when WarmStart is set
+	stats  core.SolveStats // cold-path counters (WarmStart uses solver.Stats)
 }
 
 // Name implements Scheduler.
@@ -58,14 +79,21 @@ func (p *Postcard) Name() string {
 	if p.Label != "" {
 		return p.Label
 	}
+	if p.WarmStart {
+		return "postcard-warm"
+	}
 	return "postcard"
 }
 
 // CloneScheduler implements CloneableScheduler: the copy deep-copies the
 // optimizer configuration (including LP options) so concurrent cells can
-// never observe each other through a shared Config pointer.
+// never observe each other through a shared Config pointer. The clone
+// starts with a fresh (empty) solver cache; since core.Solver resets itself
+// whenever the network changes identity — and every simulation cell builds
+// its own network — a cloned warm scheduler produces bit-identical runs to
+// a sequentially reused one.
 func (p *Postcard) CloneScheduler() Scheduler {
-	out := &Postcard{Label: p.Label}
+	out := &Postcard{Label: p.Label, WarmStart: p.WarmStart}
 	if p.Config != nil {
 		cfg := *p.Config
 		if p.Config.LP != nil {
@@ -79,7 +107,25 @@ func (p *Postcard) CloneScheduler() Scheduler {
 
 // Schedule implements Scheduler.
 func (p *Postcard) Schedule(ledger *netmodel.Ledger, files []netmodel.File, slot int) (*schedule.Schedule, error) {
-	res, err := core.Solve(ledger, files, slot, p.Config)
+	var (
+		res *core.Result
+		err error
+	)
+	if p.WarmStart {
+		if p.solver == nil {
+			p.solver = core.NewSolver(p.Config)
+		}
+		res, err = p.solver.Solve(ledger, files, slot)
+	} else {
+		res, err = core.Solve(ledger, files, slot, p.Config)
+		if err == nil && len(files) > 0 {
+			p.stats.Solves++
+			p.stats.Iterations += res.Iterations
+			p.stats.Phase1Iter += res.Phase1Iter
+			p.stats.PresolveCols += res.PresolveCols
+			p.stats.PresolveRows += res.PresolveRows
+		}
+	}
 	if err != nil {
 		var ue *core.UnroutableError
 		if errors.As(err, &ue) {
@@ -91,6 +137,17 @@ func (p *Postcard) Schedule(ledger *netmodel.Ledger, files []netmodel.File, slot
 		return nil, fmt.Errorf("%w: postcard LP status %v", ErrInfeasible, res.Status)
 	}
 	return res.Schedule, nil
+}
+
+// SolverStats implements SolverStatsReporter. With WarmStart the counters
+// are the incremental core.Solver's; otherwise the adapter counts its cold
+// solves directly (WarmSolves and GraphReuses stay zero by construction),
+// so cold-versus-warm iteration totals are comparable through one surface.
+func (p *Postcard) SolverStats() core.SolveStats {
+	if p.solver != nil {
+		return p.solver.Stats()
+	}
+	return p.stats
 }
 
 // FlowVariant selects a flow-based baseline implementation.

@@ -92,6 +92,7 @@ func TestRunShedsWhenInfeasible(t *testing.T) {
 func TestSchedulerNames(t *testing.T) {
 	cases := map[Scheduler]string{
 		&Postcard{}:                  "postcard",
+		&Postcard{WarmStart: true}:   "postcard-warm",
 		&Postcard{Label: "pc-x"}:     "pc-x",
 		&Flow{Variant: FlowLP}:       "flow-based",
 		&Flow{Variant: FlowTwoPhase}: "flow-two-phase",

@@ -1,0 +1,73 @@
+package timegraph
+
+import (
+	"testing"
+
+	"github.com/interdc/postcard/internal/netmodel"
+)
+
+// TestRebaseMatchesFreshBuild pins the Rebase contract: a graph built at
+// slot 0 and rebased to slot t must be edge-for-edge identical to a graph
+// freshly built at t, and every EdgeAt/FileWindow query must agree.
+func TestRebaseMatchesFreshBuild(t *testing.T) {
+	nw, err := netmodel.NewNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustLink := func(i, j int, price, capacity float64) {
+		t.Helper()
+		if err := nw.SetLink(netmodel.DC(i), netmodel.DC(j), price, capacity); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustLink(0, 1, 2, 10)
+	mustLink(1, 2, 3, 20)
+	mustLink(0, 2, 7, 5)
+
+	const horizon = 4
+	g, err := Build(nw, 0, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, newStart := range []int{5, 2, 0} {
+		if err := g.Rebase(newStart); err != nil {
+			t.Fatalf("Rebase(%d): %v", newStart, err)
+		}
+		fresh, err := Build(nw, newStart, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Start() != newStart || g.Horizon() != horizon {
+			t.Fatalf("rebased graph is [%d,+%d), want [%d,+%d)", g.Start(), g.Horizon(), newStart, horizon)
+		}
+		if g.NumEdges() != fresh.NumEdges() {
+			t.Fatalf("rebased graph has %d edges, fresh build has %d", g.NumEdges(), fresh.NumEdges())
+		}
+		for idx := 0; idx < g.NumEdges(); idx++ {
+			if got, want := g.Edge(idx), fresh.Edge(idx); got != want {
+				t.Fatalf("edge %d after Rebase(%d): %+v, fresh %+v", idx, newStart, got, want)
+			}
+		}
+		// Spot-check lookups inside, at the boundary of, and outside the window.
+		for slot := newStart - 1; slot <= newStart+horizon; slot++ {
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 3; j++ {
+					ge, gok := g.EdgeAt(netmodel.DC(i), netmodel.DC(j), slot)
+					fe, fok := fresh.EdgeAt(netmodel.DC(i), netmodel.DC(j), slot)
+					if gok != fok || ge != fe {
+						t.Fatalf("EdgeAt(%d,%d,%d): rebased (%+v,%v), fresh (%+v,%v)", i, j, slot, ge, gok, fe, fok)
+					}
+				}
+			}
+		}
+		f := netmodel.File{ID: 1, Src: 0, Dst: 2, Size: 4, Release: newStart + 1, Deadline: 2}
+		gf, gl, gok := g.FileWindow(f)
+		ff, fl, fok := fresh.FileWindow(f)
+		if gf != ff || gl != fl || gok != fok {
+			t.Fatalf("FileWindow after Rebase(%d): (%d,%d,%v), fresh (%d,%d,%v)", newStart, gf, gl, gok, ff, fl, fok)
+		}
+	}
+	if err := g.Rebase(-1); err == nil {
+		t.Fatal("Rebase(-1) accepted a negative start slot")
+	}
+}

@@ -83,6 +83,28 @@ func (g *Graph) lookupIdx(i, j netmodel.DC, slot int) int {
 	return (slot-g.start)*n*n + int(i)*n + int(j)
 }
 
+// Rebase shifts the graph so its first layer becomes newStart, reusing the
+// already-allocated edge and lookup storage instead of rebuilding. The graph
+// keeps its horizon; only every edge's Slot moves by the same delta. Because
+// prices and base capacities are static properties of the overlay, a rebased
+// graph is indistinguishable from one freshly built at newStart — this is
+// what lets the incremental per-slot solver keep one time-expanded skeleton
+// alive across consecutive slots.
+func (g *Graph) Rebase(newStart int) error {
+	if newStart < 0 {
+		return fmt.Errorf("timegraph: negative start slot %d", newStart)
+	}
+	delta := newStart - g.start
+	if delta == 0 {
+		return nil
+	}
+	for i := range g.edges {
+		g.edges[i].Slot += delta
+	}
+	g.start = newStart
+	return nil
+}
+
 // Network returns the underlying overlay network.
 func (g *Graph) Network() *netmodel.Network { return g.nw }
 

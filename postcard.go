@@ -91,6 +91,12 @@ type (
 	StoragePolicy = core.StoragePolicy
 	// UnroutableError reports structurally undeliverable files.
 	UnroutableError = core.UnroutableError
+	// IncrementalSolver is the warm-started slot-by-slot counterpart of
+	// Solve: consecutive solves reuse the time-expanded graph skeleton and
+	// warm-start each LP from the previous slot's basis. See core.Solver.
+	IncrementalSolver = core.Solver
+	// SolveStats aggregates the LP work an IncrementalSolver performed.
+	SolveStats = core.SolveStats
 )
 
 // Baseline types.
@@ -138,6 +144,10 @@ type (
 	FigureResult = sim.FigureResult
 	// SchedulerSummary aggregates one scheduler across runs.
 	SchedulerSummary = sim.SchedulerSummary
+	// SolverStatsReporter is implemented by schedulers that track
+	// cumulative LP solver work (e.g. the warm-started Postcard adapter);
+	// RunStats.Solver and SchedulerSummary.Solver aggregate it.
+	SolverStatsReporter = sim.SolverStatsReporter
 )
 
 // Workload types.
@@ -192,16 +202,19 @@ const (
 
 // SchedulerNames lists the scheduler names understood by SchedulerByName.
 func SchedulerNames() []string {
-	return []string{"postcard", "postcard-nostore", "flow-based", "flow-two-phase", "flow-greedy", "direct"}
+	return []string{"postcard", "postcard-warm", "postcard-nostore", "flow-based", "flow-two-phase", "flow-greedy", "direct"}
 }
 
 // SchedulerByName builds a Scheduler from its command-line name:
-// "postcard", "postcard-nostore" (intermediate storage disabled),
+// "postcard", "postcard-warm" (the incremental warm-started solver),
+// "postcard-nostore" (intermediate storage disabled),
 // "flow-based", "flow-two-phase", "flow-greedy", or "direct".
 func SchedulerByName(name string) (Scheduler, error) {
 	switch name {
 	case "postcard":
 		return &PostcardScheduler{}, nil
+	case "postcard-warm":
+		return &PostcardScheduler{WarmStart: true}, nil
 	case "postcard-nostore":
 		return &PostcardScheduler{
 			Label:  "postcard-nostore",
@@ -251,6 +264,12 @@ func NewLedger(nw *Network, scheme Charging) (*Ledger, error) {
 func Solve(ledger *Ledger, files []File, t int, cfg *Config) (*Result, error) {
 	return core.Solve(ledger, files, t, cfg)
 }
+
+// NewIncrementalSolver creates a warm-started slot-by-slot solver whose
+// consecutive Solve calls reuse the previous slot's time-expanded graph and
+// simplex basis. Results match the stateless Solve on every input (same
+// optimal objective, possibly a different vertex of the optimal face).
+func NewIncrementalSolver(cfg *Config) *IncrementalSolver { return core.NewSolver(cfg) }
 
 // FlowSolve runs the optimal flow-based baseline (single LP).
 func FlowSolve(ledger *Ledger, files []File, t int, cfg *FlowConfig) (*FlowResult, error) {
