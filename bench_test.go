@@ -66,6 +66,9 @@ func benchFigure(b *testing.B, figure int, scale postcard.Scale, mkSchedulers fu
 		if s.Solver.Solves > 0 {
 			b.ReportMetric(float64(s.Solver.Iterations), s.Name+"-lp-iters")
 		}
+		if tot := s.Solver.SparseSolves + s.Solver.DenseSolves; tot > 0 {
+			b.ReportMetric(100*float64(s.Solver.SparseSolves)/float64(tot), s.Name+"-sparse-hit%")
+		}
 	}
 }
 
@@ -194,6 +197,7 @@ func benchInstance(b *testing.B, capacity float64) (*postcard.Ledger, []postcard
 // work the online simulator performs at every slot).
 func BenchmarkPostcardSolve(b *testing.B) {
 	ledger, files := benchInstance(b, 40)
+	var last *postcard.Result
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -204,6 +208,12 @@ func BenchmarkPostcardSolve(b *testing.B) {
 		if res.Status != postcard.StatusOptimal {
 			b.Fatalf("status %v", res.Status)
 		}
+		last = res
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(last.Iterations), "lp-iters")
+	if tot := last.SparseSolves + last.DenseSolves; tot > 0 {
+		b.ReportMetric(100*float64(last.SparseSolves)/float64(tot), "sparse-hit%")
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 
@@ -48,10 +49,40 @@ func run() error {
 	csvOut := flag.String("csv", "", "write the per-slot cost series to this CSV file (one column per scheduler)")
 	traceOut := flag.String("trace-out", "", "record the generated workload to this JSON file")
 	traceIn := flag.String("trace-in", "", "replay a workload recorded with -trace-out")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *workers < 1 {
 		return fmt.Errorf("-workers must be >= 1, got %d", *workers)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "postcard-sim: creating heap profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "postcard-sim: writing heap profile:", err)
+			}
+		}()
 	}
 
 	nw, err := postcard.Complete(*dcs, postcard.UniformPrices(*seed), *capacity)
@@ -164,6 +195,16 @@ func run() error {
 				sv.Solves, sv.WarmSolves, sv.GraphReuses)
 			fmt.Printf("lp iterations:    %d (%d phase-1); presolve removed %d cols, %d rows\n",
 				sv.Iterations, sv.Phase1Iter, sv.PresolveCols, sv.PresolveRows)
+			if tot := sv.SparseSolves + sv.DenseSolves; tot > 0 {
+				density := 0.0
+				if sv.SolveDim > 0 {
+					density = float64(sv.SolveNNZ) / float64(sv.SolveDim)
+				}
+				fmt.Printf("lp basis solves:  %.1f%% sparse (%d/%d), result density %.3f\n",
+					100*float64(sv.SparseSolves)/float64(tot), sv.SparseSolves, tot, density)
+				fmt.Printf("lp pricing:       %d devex resets, %d dual recomputes\n",
+					sv.DevexResets, sv.DualRecomputes)
+			}
 		}
 		fmt.Println("\ncost per interval over time:")
 		for t, c := range rs.CostSeries {

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/interdc/postcard"
 )
@@ -41,7 +43,38 @@ func run() error {
 	scheduler := flag.String("scheduler", "postcard", "postcard | postcard-warm | flow | flow-two-phase | flow-greedy | direct")
 	dotOut := flag.String("dot", "", "write the time-expanded graph in DOT format to this file")
 	jsonOut := flag.Bool("json", false, "emit the plan as JSON instead of text")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "postcard-solve: creating heap profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "postcard-solve: writing heap profile:", err)
+			}
+		}()
+	}
 
 	nw, files, err := loadInstance(*input)
 	if err != nil {
@@ -78,7 +111,7 @@ func run() error {
 		fmt.Printf("time-expanded graph written to %s\n", *dotOut)
 	}
 
-	plan, cost, status, err := solve(*scheduler, ledger, files, slot)
+	plan, cost, status, lpRes, err := solve(*scheduler, ledger, files, slot)
 	if err != nil {
 		return err
 	}
@@ -100,6 +133,19 @@ func run() error {
 		fmt.Println(" ", a)
 	}
 	fmt.Printf("cost per interval: %.4f\n", cost)
+	if lpRes != nil {
+		fmt.Printf("lp: %d iterations (%d phase-1), %d vars, %d constraints\n",
+			lpRes.Iterations, lpRes.Phase1Iter, lpRes.Variables, lpRes.Constraints)
+		if tot := lpRes.SparseSolves + lpRes.DenseSolves; tot > 0 {
+			density := 0.0
+			if lpRes.SolveDim > 0 {
+				density = float64(lpRes.SolveNNZ) / float64(lpRes.SolveDim)
+			}
+			fmt.Printf("lp basis solves: %.1f%% sparse (%d/%d), result density %.3f; %d devex resets, %d dual recomputes\n",
+				100*float64(lpRes.SparseSolves)/float64(tot), lpRes.SparseSolves, tot,
+				density, lpRes.DevexResets, lpRes.DualRecomputes)
+		}
+	}
 	return nil
 }
 
@@ -133,48 +179,48 @@ func defaultInstance() (*postcard.Network, []postcard.File, error) {
 	return nw, files, nil
 }
 
-func solve(name string, ledger *postcard.Ledger, files []postcard.File, slot int) (*postcard.Schedule, float64, postcard.SolveStatus, error) {
+func solve(name string, ledger *postcard.Ledger, files []postcard.File, slot int) (*postcard.Schedule, float64, postcard.SolveStatus, *postcard.Result, error) {
 	switch name {
 	case "postcard":
 		res, err := postcard.Solve(ledger, files, slot, nil)
 		if err != nil {
-			return nil, 0, 0, err
+			return nil, 0, 0, nil, err
 		}
-		return res.Schedule, res.CostPerSlot, res.Status, nil
+		return res.Schedule, res.CostPerSlot, res.Status, res, nil
 	case "postcard-warm":
 		// One-shot use of the incremental solver: equivalent to "postcard"
 		// for a single solve (the cache is empty), provided for parity with
 		// the simulator's scheduler names.
 		res, err := postcard.NewIncrementalSolver(nil).Solve(ledger, files, slot)
 		if err != nil {
-			return nil, 0, 0, err
+			return nil, 0, 0, nil, err
 		}
-		return res.Schedule, res.CostPerSlot, res.Status, nil
+		return res.Schedule, res.CostPerSlot, res.Status, res, nil
 	case "flow":
 		res, err := postcard.FlowSolve(ledger, files, slot, nil)
 		if err != nil {
-			return nil, 0, 0, err
+			return nil, 0, 0, nil, err
 		}
-		return res.Schedule, res.CostPerSlot, res.Status, nil
+		return res.Schedule, res.CostPerSlot, res.Status, nil, nil
 	case "flow-two-phase":
 		res, err := postcard.FlowTwoPhaseSolve(ledger, files, slot, nil)
 		if err != nil {
-			return nil, 0, 0, err
+			return nil, 0, 0, nil, err
 		}
-		return res.Schedule, res.CostPerSlot, res.Status, nil
+		return res.Schedule, res.CostPerSlot, res.Status, nil, nil
 	case "flow-greedy":
 		res, err := postcard.FlowGreedySolve(ledger, files, slot)
 		if err != nil {
-			return nil, 0, 0, err
+			return nil, 0, 0, nil, err
 		}
-		return res.Schedule, res.CostPerSlot, res.Status, nil
+		return res.Schedule, res.CostPerSlot, res.Status, nil, nil
 	case "direct":
 		res, err := postcard.FlowDirectSolve(ledger, files, slot)
 		if err != nil {
-			return nil, 0, 0, err
+			return nil, 0, 0, nil, err
 		}
-		return res.Schedule, res.CostPerSlot, res.Status, nil
+		return res.Schedule, res.CostPerSlot, res.Status, nil, nil
 	default:
-		return nil, 0, 0, fmt.Errorf("unknown scheduler %q", name)
+		return nil, 0, 0, nil, fmt.Errorf("unknown scheduler %q", name)
 	}
 }

@@ -53,7 +53,7 @@ func TestSolveDispatch(t *testing.T) {
 		if name == "flow-based" {
 			mode = "flow"
 		}
-		plan, cost, status, err := solve(mode, ledger, files, 0)
+		plan, cost, status, _, err := solve(mode, ledger, files, 0)
 		if err != nil {
 			t.Errorf("%s: %v", mode, err)
 			continue
@@ -66,7 +66,7 @@ func TestSolveDispatch(t *testing.T) {
 			t.Errorf("%s: empty plan or cost %v", mode, cost)
 		}
 	}
-	if _, _, _, err := solve("bogus", nil, nil, 0); err == nil {
+	if _, _, _, _, err := solve("bogus", nil, nil, 0); err == nil {
 		t.Error("expected error for unknown scheduler")
 	}
 }
@@ -80,7 +80,7 @@ func TestRelayInstanceOptimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, cost, status, err := solve("postcard", ledger, files, 0)
+	_, cost, status, _, err := solve("postcard", ledger, files, 0)
 	if err != nil || status != postcard.StatusOptimal {
 		t.Fatalf("solve: %v %v", err, status)
 	}

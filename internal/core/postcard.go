@@ -88,6 +88,18 @@ type Result struct {
 	// not enabled or did not fire).
 	PresolveCols int
 	PresolveRows int
+	// SparseSolves and DenseSolves count basis triangular solves that took
+	// the hyper-sparse pattern path versus the dense fallback; SolveNNZ and
+	// SolveDim total their result-pattern sizes and basis dimensions (see
+	// lp.Solution for exact semantics).
+	SparseSolves int
+	DenseSolves  int
+	SolveNNZ     int
+	SolveDim     int
+	// DevexResets and DualRecomputes count devex reference-framework
+	// restarts and full reduced-cost recomputations inside the simplex.
+	DevexResets    int
+	DualRecomputes int
 }
 
 // UnroutableError reports files whose destination is structurally
@@ -130,7 +142,21 @@ func Solve(ledger *netmodel.Ledger, files []netmodel.File, t int, cfg *Config) (
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := b.solve(conf.LP)
+	opts := lp.Options{}
+	if conf.LP != nil {
+		opts = *conf.LP
+	}
+	crashed := false
+	if opts.InitialBasis == nil {
+		opts.InitialBasis = crashBasis(b)
+		crashed = true
+	}
+	res, _, err := b.solve(&opts)
+	if res != nil && crashed {
+		// The synthesized crash basis is an internal acceleration, not a
+		// caller-provided warm start; keep the stateless contract visible.
+		res.WarmStarted = false
+	}
 	return res, err
 }
 
@@ -195,14 +221,20 @@ func (b *builder) solve(opts *lp.Options) (*Result, *lp.Solution, error) {
 		return nil, nil, fmt.Errorf("core: solving Postcard LP: %w", err)
 	}
 	res := &Result{
-		Status:       sol.Status,
-		Iterations:   sol.Iterations,
-		Phase1Iter:   sol.Phase1Iter,
-		Variables:    b.model.NumVariables(),
-		Constraints:  b.model.NumConstraints(),
-		WarmStarted:  sol.WarmStarted,
-		PresolveCols: sol.PresolveCols,
-		PresolveRows: sol.PresolveRows,
+		Status:          sol.Status,
+		Iterations:      sol.Iterations,
+		Phase1Iter:      sol.Phase1Iter,
+		Variables:       b.model.NumVariables(),
+		Constraints:     b.model.NumConstraints(),
+		WarmStarted:     sol.WarmStarted,
+		PresolveCols:    sol.PresolveCols,
+		PresolveRows:    sol.PresolveRows,
+		SparseSolves:    sol.SparseSolves,
+		DenseSolves:     sol.DenseSolves,
+		SolveNNZ:        sol.SolveNNZ,
+		SolveDim:        sol.SolveDim,
+		DevexResets:     sol.DevexResets,
+		DualRecomputes:  sol.DualRecomputes,
 	}
 	if sol.Status != lp.Optimal {
 		return res, sol, nil

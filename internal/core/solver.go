@@ -27,6 +27,18 @@ type SolveStats struct {
 	// presolve pass removed before the simplex ran.
 	PresolveCols int
 	PresolveRows int
+	// SparseSolves and DenseSolves total the basis triangular solves that
+	// took the hyper-sparse pattern path versus the dense fallback; SolveNNZ
+	// and SolveDim total their result-pattern sizes and basis dimensions, so
+	// the fleet-wide aggregate result density is SolveNNZ/SolveDim.
+	SparseSolves int
+	DenseSolves  int
+	SolveNNZ     int
+	SolveDim     int
+	// DevexResets and DualRecomputes total devex reference-framework
+	// restarts and full reduced-cost recomputations.
+	DevexResets    int
+	DualRecomputes int
 }
 
 // Add returns the element-wise sum of two stat snapshots.
@@ -35,10 +47,16 @@ func (s SolveStats) Add(o SolveStats) SolveStats {
 		Solves:       s.Solves + o.Solves,
 		WarmSolves:   s.WarmSolves + o.WarmSolves,
 		GraphReuses:  s.GraphReuses + o.GraphReuses,
-		Iterations:   s.Iterations + o.Iterations,
-		Phase1Iter:   s.Phase1Iter + o.Phase1Iter,
-		PresolveCols: s.PresolveCols + o.PresolveCols,
-		PresolveRows: s.PresolveRows + o.PresolveRows,
+		Iterations:      s.Iterations + o.Iterations,
+		Phase1Iter:      s.Phase1Iter + o.Phase1Iter,
+		PresolveCols:    s.PresolveCols + o.PresolveCols,
+		PresolveRows:    s.PresolveRows + o.PresolveRows,
+		SparseSolves:    s.SparseSolves + o.SparseSolves,
+		DenseSolves:     s.DenseSolves + o.DenseSolves,
+		SolveNNZ:        s.SolveNNZ + o.SolveNNZ,
+		SolveDim:        s.SolveDim + o.SolveDim,
+		DevexResets:     s.DevexResets + o.DevexResets,
+		DualRecomputes:  s.DualRecomputes + o.DualRecomputes,
 	}
 }
 
@@ -49,10 +67,16 @@ func (s SolveStats) Sub(o SolveStats) SolveStats {
 		Solves:       s.Solves - o.Solves,
 		WarmSolves:   s.WarmSolves - o.WarmSolves,
 		GraphReuses:  s.GraphReuses - o.GraphReuses,
-		Iterations:   s.Iterations - o.Iterations,
-		Phase1Iter:   s.Phase1Iter - o.Phase1Iter,
-		PresolveCols: s.PresolveCols - o.PresolveCols,
-		PresolveRows: s.PresolveRows - o.PresolveRows,
+		Iterations:      s.Iterations - o.Iterations,
+		Phase1Iter:      s.Phase1Iter - o.Phase1Iter,
+		PresolveCols:    s.PresolveCols - o.PresolveCols,
+		PresolveRows:    s.PresolveRows - o.PresolveRows,
+		SparseSolves:    s.SparseSolves - o.SparseSolves,
+		DenseSolves:     s.DenseSolves - o.DenseSolves,
+		SolveNNZ:        s.SolveNNZ - o.SolveNNZ,
+		SolveDim:        s.SolveDim - o.SolveDim,
+		DevexResets:     s.DevexResets - o.DevexResets,
+		DualRecomputes:  s.DualRecomputes - o.DualRecomputes,
 	}
 }
 
@@ -143,18 +167,36 @@ func (s *Solver) Solve(ledger *netmodel.Ledger, files []netmodel.File, t int) (*
 		opts = *s.conf.LP
 	}
 	opts.Presolve = true
+	snapshot := false
 	if s.valid && s.basis != nil {
 		opts.InitialBasis = mapBasis(s.basis, s.cols, s.rows, b)
+		snapshot = opts.InitialBasis != nil
+	}
+	if opts.InitialBasis == nil {
+		// First solve of a run (or an unusable snapshot): start from the
+		// crash basis rather than the bare all-logical one, exactly like the
+		// stateless cold path.
+		opts.InitialBasis = crashBasis(b)
 	}
 	res, sol, err := b.solve(&opts)
 	if err != nil {
 		return nil, err
 	}
+	// WarmStarted is a statement about solver state carried across slots,
+	// not about the synthesized crash basis: a crash-started solve is still
+	// a cold solve to every observer of these counters.
+	res.WarmStarted = res.WarmStarted && snapshot
 	s.stats.Solves++
 	s.stats.Iterations += res.Iterations
 	s.stats.Phase1Iter += res.Phase1Iter
 	s.stats.PresolveCols += res.PresolveCols
 	s.stats.PresolveRows += res.PresolveRows
+	s.stats.SparseSolves += res.SparseSolves
+	s.stats.DenseSolves += res.DenseSolves
+	s.stats.SolveNNZ += res.SolveNNZ
+	s.stats.SolveDim += res.SolveDim
+	s.stats.DevexResets += res.DevexResets
+	s.stats.DualRecomputes += res.DualRecomputes
 	if res.WarmStarted {
 		s.stats.WarmSolves++
 	}
@@ -192,6 +234,26 @@ func (s *Solver) graphFor(nw *netmodel.Network, t, horizon int) (*timegraph.Grap
 	}
 	s.tg = tg
 	return tg, nil
+}
+
+// crashBasis builds the advanced starting basis for a from-scratch solve:
+// the all-logical cold default upgraded by crashNewFiles, so every file
+// starts with its crash route (immediate shortest-hop shipment, then
+// destination holdovers) basic instead of resting at zero flow. The implied
+// basic point already routes each file end to end, so phase 1 only repairs
+// capacity overflows where crash routes collide — a handful of pivots
+// instead of re-deriving every route by simplex steps.
+func crashBasis(b *builder) *lp.Basis {
+	nv, nr := len(b.colKeys), len(b.rowKeys)
+	out := &lp.Basis{NumVars: nv, NumRows: nr, Status: make([]lp.BasisStatus, nv+nr)}
+	for j := 0; j < nv; j++ {
+		out.Status[j] = lp.BasisAtLower
+	}
+	for i := 0; i < nr; i++ {
+		out.Status[nv+i] = lp.BasisBasic
+	}
+	crashNewFiles(out, nil, b)
+	return out.Normalize()
 }
 
 // mapBasis translates a basis snapshot captured on a previous model onto

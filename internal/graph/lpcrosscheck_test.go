@@ -8,13 +8,13 @@ import (
 	"github.com/interdc/postcard/internal/lp"
 )
 
-// minCostFlowLP formulates the same min-cost-flow instance as an LP:
+// minCostFlowModel formulates a min-cost-flow instance as an LP:
 // variables are edge flows, conservation at every node, demand routed from
-// s to t. It returns the optimal cost, or ok=false when the LP is
-// infeasible (demand exceeds max flow).
-func minCostFlowLP(t *testing.T, g *Graph, s, sink int, want float64) (float64, bool) {
+// s to t. ok is false when the instance is structurally infeasible (an
+// isolated node with nonzero demand).
+func minCostFlowModel(t *testing.T, g *Graph, s, sink int, want float64) (m *lp.Model, ok bool) {
 	t.Helper()
-	m := lp.NewModel()
+	m = lp.NewModel()
 	vars := make([]lp.VarID, g.NumEdges())
 	for id := 0; id < g.NumEdges(); id++ {
 		e := g.EdgeInfo(id)
@@ -43,13 +43,24 @@ func minCostFlowLP(t *testing.T, g *Graph, s, sink int, want float64) (float64, 
 		}
 		if len(idx) == 0 {
 			if rhs != 0 {
-				return 0, false
+				return nil, false
 			}
 			continue
 		}
 		if _, err := m.AddConstraint(lp.EQ, rhs, idx, val); err != nil {
 			t.Fatal(err)
 		}
+	}
+	return m, true
+}
+
+// minCostFlowLP solves the LP formulation, returning the optimal cost, or
+// ok=false when the LP is infeasible (demand exceeds max flow).
+func minCostFlowLP(t *testing.T, g *Graph, s, sink int, want float64) (float64, bool) {
+	t.Helper()
+	m, ok := minCostFlowModel(t, g, s, sink, want)
+	if !ok {
+		return 0, false
 	}
 	sol, err := m.Solve(nil)
 	if err != nil {
@@ -59,6 +70,69 @@ func minCostFlowLP(t *testing.T, g *Graph, s, sink int, want float64) (float64, 
 		return 0, false
 	}
 	return sol.Objective, true
+}
+
+// TestMinCostFlowLPPricingAgreement runs the pricing-rule equivalence
+// property on the min-cost-flow cross-check instances: devex and Dantzig
+// pricing must agree with each other — and with the combinatorial
+// successive-shortest-path optimum — on every feasible instance.
+func TestMinCostFlowLPPricingAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	checked := 0
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(5)
+		g1 := randomFlowNetwork(rng, n)
+		// MaxFlow and MinCostFlow mutate residual state; give each its own
+		// copy and build the LP from a pristine one.
+		g2, g3 := New(n), New(n)
+		for id := 0; id < g1.NumEdges(); id++ {
+			e := g1.EdgeInfo(id)
+			if _, err := g2.AddEdge(e.From, e.To, e.Cap, e.Cost); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g3.AddEdge(e.From, e.To, e.Cap, e.Cost); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mf, err := g1.MaxFlow(0, n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mf < 1e-6 {
+			continue
+		}
+		demand := mf / 2
+		_, combCost, err := g2.MinCostFlow(0, n-1, demand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, ok := minCostFlowModel(t, g3, 0, n-1, demand)
+		if !ok {
+			t.Fatalf("trial %d: LP model infeasible for feasible demand", trial)
+		}
+		dv, err := m.Solve(&lp.Options{Pricing: lp.PricingDevex})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dz, err := m.Solve(&lp.Options{Pricing: lp.PricingDantzig})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dv.Status != lp.Optimal || dz.Status != lp.Optimal {
+			t.Fatalf("trial %d: status devex=%v dantzig=%v", trial, dv.Status, dz.Status)
+		}
+		scale := 1 + math.Abs(combCost)
+		if math.Abs(dv.Objective-dz.Objective) > 1e-6*scale {
+			t.Fatalf("trial %d: devex %v != dantzig %v", trial, dv.Objective, dz.Objective)
+		}
+		if math.Abs(dv.Objective-combCost) > 1e-5*scale {
+			t.Fatalf("trial %d: LP %v != combinatorial %v", trial, dv.Objective, combCost)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d instances checked; generator too degenerate", checked)
+	}
 }
 
 // TestMinCostFlowMatchesLP cross-checks the combinatorial successive-

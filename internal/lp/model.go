@@ -191,10 +191,50 @@ type Solution struct {
 	// Options.Presolve).
 	PresolveCols int
 	PresolveRows int
+
+	// SparseSolves and DenseSolves count the basis triangular solves (FTRAN
+	// of entering columns, BTRAN of pivot-row unit vectors and phase-1 cost
+	// corrections, and right-hand-side solves) that took the hyper-sparse
+	// Gilbert-Peierls pattern path versus the dense substitution fallback.
+	SparseSolves int
+	DenseSolves  int
+	// SolveNNZ totals the result-pattern sizes of those solves (a dense
+	// fallback counts the full basis dimension) and SolveDim totals the
+	// basis dimensions they ran against, so the aggregate result density is
+	// SolveNNZ/SolveDim. Both are integers — aggregation across solves,
+	// slots and runs is exact and order-independent.
+	SolveNNZ int
+	SolveDim int
+	// DevexResets counts resets of the devex reference framework (weights
+	// back to one), which happen whenever the reduced costs are recomputed
+	// from scratch: refactorizations, phase switches, and Bland episodes.
+	DevexResets int
+	// DualRecomputes counts full recomputations of the maintained
+	// reduced-cost vector — the periodic honest recompute that bounds the
+	// drift of the incremental per-pivot updates.
+	DualRecomputes int
 }
 
 // Value reports the primal value of v.
 func (s *Solution) Value(v VarID) float64 { return s.X[v] }
+
+// Pricing selects the rule Solve uses to pick the entering variable.
+type Pricing int
+
+// Pricing rules.
+const (
+	// PricingDevex (the default) prices with devex reference weights over a
+	// reduced-cost vector maintained incrementally across pivots: each
+	// iteration is a single pass over two dense arrays plus one sparse BTRAN
+	// of the pivot row, instead of per-candidate column scans. Devex's
+	// approximate steepest-edge criterion is the iteration-count lever on
+	// the massively degenerate network LPs Postcard solves.
+	PricingDevex Pricing = iota
+	// PricingDantzig is the legacy rotating-window partial Dantzig rule,
+	// recomputing multipliers densely every iteration. Kept as a
+	// cross-check and fallback.
+	PricingDantzig
+)
 
 // Options controls the simplex solver. The zero value selects defaults.
 type Options struct {
@@ -203,6 +243,9 @@ type Options struct {
 	OptTol        float64 // dual feasibility (optimality) tolerance, default 1e-7
 	PivotTol      float64 // minimum acceptable pivot magnitude, default 1e-8
 	RefactorEvery int     // eta updates between refactorizations, default 64
+	// Pricing selects the entering-variable rule; the zero value is
+	// PricingDevex.
+	Pricing Pricing
 	// Perturb is the relative magnitude of the deterministic cost
 	// perturbation applied to fight degeneracy (network LPs stall badly
 	// without it). The reported objective always uses the unperturbed
@@ -243,7 +286,7 @@ func (o *Options) withDefaults(rows, cols int) Options {
 		out.PivotTol = 1e-8
 	}
 	if out.RefactorEvery <= 0 {
-		out.RefactorEvery = 64
+		out.RefactorEvery = 32
 	}
 	if out.Perturb == 0 {
 		out.Perturb = 1e-7

@@ -104,11 +104,14 @@ func (m *Model) buildCompForm() (*compForm, error) {
 	return cf, nil
 }
 
+// eta is one product-form basis update. Its nonzero off-pivot rows live in
+// the simplex's pooled etaIdx/etaVal arrays at [start, end); the pools are
+// truncated (capacity retained) on every refactorization, so steady-state
+// pivots allocate nothing once the pools have grown to their working size.
 type eta struct {
-	idx   []int // rows of the update column, pivot row excluded
-	val   []float64
-	r     int     // pivot row
-	pivot float64 // update column's pivot-row entry
+	start, end int // slice of the pooled etaIdx/etaVal arrays
+	r          int // pivot row
+	pivot      float64
 }
 
 // simplex holds the mutable state of one revised-simplex solve.
@@ -120,15 +123,55 @@ type simplex struct {
 	vstat []vstatus // per variable
 	xB    []float64 // values of basic variables by row position
 
-	lu   *sparse.LU
-	etas []eta
+	lu     *sparse.LU
+	at     *sparse.CSR // row-major mirror of cf.a for pivot-row assembly
+	etas   []eta
+	etaIdx []int
+	etaVal []float64
+
+	// FTRAN result (entering column in basis coordinates), pattern-tracked:
+	// w is zero and wMark false everywhere outside wIdx.
+	w     []float64
+	wIdx  []int
+	wMark []bool
 
 	// dense workspaces, all of length m
-	w       []float64 // FTRAN result (entering column in basis coordinates)
-	y       []float64 // BTRAN result (simplex multipliers)
-	cB      []float64 // basic cost vector for BTRAN
+	y       []float64 // BTRAN result (simplex multipliers), dense path
+	cB      []float64 // basic cost vector; maintained incrementally in phase 1
 	scratch []float64
 	rhs     []float64
+
+	// sparse BTRAN result (rho = B⁻ᵀ e_r or a correction vector), in original
+	// row space, pattern-tracked: zero outside rhoIdx.
+	rho    []float64
+	rhoIdx []int
+	// basis-position-space intermediate of the eta-transpose stage.
+	btv     []float64
+	btvIdx  []int
+	btvMark []bool
+	posVal  []float64
+	uIdx    [1]int
+	uVal    [1]float64
+
+	// pivot row of B⁻¹A over all columns, pattern-tracked.
+	alpha     []float64
+	alphaIdx  []int
+	alphaMark []bool
+
+	// maintained reduced costs and devex reference weights, length n+m.
+	d          []float64
+	devexW     []float64
+	dValid     bool
+	dPhase1    bool // the maintained d vector is for phase-1 costs
+	devexStale bool // reference framework needs a reset before next pricing
+
+	// phase-1 incremental cost-change scratch.
+	deltaIdx []int
+	deltaVal []float64
+
+	ws sparse.PatternWorkspace
+
+	useDevex bool
 
 	iters       int
 	phase1Iters int
@@ -139,6 +182,63 @@ type simplex struct {
 	stallCount  int
 	goodSteps   int // consecutive non-degenerate steps while in Bland mode
 	pricePos    int // rotating cursor for partial pricing
+
+	// hyper-sparse instrumentation
+	sparseSolves int
+	denseSolves  int
+	solveNNZ     int
+	solveDim     int
+	devexResets  int
+	dRecomputes  int
+}
+
+// newSimplex allocates all solver state for the computational form. Every
+// buffer a steady-state iteration appends to is pre-sized here, so iterations
+// after warm-up perform no allocations (asserted by TestIterationAllocs).
+func newSimplex(cf *compForm, opt Options) *simplex {
+	total := cf.n + cf.m
+	return &simplex{
+		cf:        cf,
+		opt:       opt,
+		at:        cf.a.ToCSR(),
+		basis:     make([]int, cf.m),
+		vstat:     make([]vstatus, total),
+		xB:        make([]float64, cf.m),
+		w:         make([]float64, cf.m),
+		wIdx:      make([]int, 0, cf.m),
+		wMark:     make([]bool, cf.m),
+		y:         make([]float64, cf.m),
+		cB:        make([]float64, cf.m),
+		scratch:   make([]float64, cf.m),
+		rhs:       make([]float64, cf.m),
+		rho:       make([]float64, cf.m),
+		rhoIdx:    make([]int, 0, cf.m),
+		btv:       make([]float64, cf.m),
+		btvIdx:    make([]int, 0, cf.m),
+		btvMark:   make([]bool, cf.m),
+		posVal:    make([]float64, 0, cf.m),
+		alpha:     make([]float64, total),
+		alphaIdx:  make([]int, 0, total),
+		alphaMark: make([]bool, total),
+		d:         make([]float64, total),
+		devexW:    make([]float64, total),
+		deltaIdx:   make([]int, 0, cf.m),
+		deltaVal:   make([]float64, 0, cf.m),
+		useDevex:   opt.Pricing == PricingDevex,
+		devexStale: true, // weights start uninitialized
+	}
+}
+
+// sparseLimit is the pattern-size cutoff for the hyper-sparse triangular
+// solves: predicted patterns denser than ~30% of the dimension fall back to
+// the dense substitution, whose sequential sweeps beat pattern chasing once
+// most positions are touched anyway.
+func (s *simplex) sparseLimit() int {
+	lim := (3 * s.cf.m) / 10
+	if lim < 16 {
+		lim = 16
+	}
+	return lim
 }
 
 // nbValue reports the resting value of nonbasic variable j.
@@ -155,7 +255,9 @@ func (s *simplex) nbValue(j int) float64 {
 
 // refactorize rebuilds the LU factorization of the current basis, applies
 // any singularity repairs to the basis bookkeeping, clears the eta file,
-// and recomputes basic variable values from scratch.
+// recomputes basic variable values from scratch, and invalidates the
+// maintained reduced costs (which are defined against the dropped etas and
+// possibly-repaired basis).
 func (s *simplex) refactorize() error {
 	lu, err := sparse.FactorizeBasis(s.cf.a, s.basis, s.opt.PivotTol*1e-2)
 	if err != nil {
@@ -182,12 +284,21 @@ func (s *simplex) refactorize() error {
 	}
 	s.lu = lu
 	s.etas = s.etas[:0]
+	s.etaIdx = s.etaIdx[:0]
+	s.etaVal = s.etaVal[:0]
 	s.factorCount++
+	s.dValid = false
+	if len(lu.Repairs()) > 0 {
+		s.devexStale = true // repairs changed the basis discontinuously
+	}
 	s.computeXB()
 	return nil
 }
 
-// computeXB recomputes xB = B⁻¹ (b - N·x_N) from scratch.
+// computeXB recomputes xB = B⁻¹ (b - N·x_N) from scratch through the
+// sparse-RHS solve (warm-started bases of nearly-empty slots have very few
+// nonzero right-hand positions; dense ones fall back). It is only called
+// with an empty eta file (from refactorize).
 func (s *simplex) computeXB() {
 	copy(s.rhs, s.cf.b)
 	total := s.cf.n + s.cf.m
@@ -203,51 +314,200 @@ func (s *simplex) computeXB() {
 			s.rhs[row] -= val * xj
 		})
 	}
-	s.lu.Solve(s.rhs, s.xB, s.scratch)
-	for _, e := range s.etas {
-		applyEtaForward(e, s.xB)
+	s.deltaIdx = s.deltaIdx[:0]
+	s.deltaVal = s.deltaVal[:0]
+	for i, v := range s.rhs {
+		if v != 0 {
+			s.deltaIdx = append(s.deltaIdx, i)
+			s.deltaVal = append(s.deltaVal, v)
+		}
 	}
+	for i := range s.xB {
+		s.xB[i] = 0
+	}
+	_, ok := s.lu.SolveSparseRHS(s.deltaIdx, s.deltaVal, s.xB, &s.ws, s.sparseLimit())
+	s.noteSolve(ok, len(s.deltaIdx))
 }
 
-func applyEtaForward(e eta, x []float64) {
-	xr := x[e.r] / e.pivot
-	if xr == 0 {
-		x[e.r] = 0
-		return
+// noteSolve records one triangular solve in the hyper-sparse counters. n is
+// the result-pattern size on the sparse path; a dense fall-back counts the
+// full basis dimension.
+func (s *simplex) noteSolve(ok bool, n int) {
+	if ok {
+		s.sparseSolves++
+		s.solveNNZ += n
+	} else {
+		s.denseSolves++
+		s.solveNNZ += s.cf.m
 	}
-	x[e.r] = xr
-	for p, i := range e.idx {
-		x[i] -= e.val[p] * xr
-	}
+	s.solveDim += s.cf.m
 }
 
-func applyEtaTranspose(e eta, y []float64) {
-	sum := 0.0
-	for p, i := range e.idx {
-		sum += e.val[p] * y[i]
-	}
-	y[e.r] = (y[e.r] - sum) / e.pivot
-}
-
-// ftran computes w = B⁻¹ a_q for structural-or-logical column q.
+// ftran computes w = B⁻¹ a_q for structural-or-logical column q, leaving the
+// touched positions in wIdx/wMark. w must be clear (all-zero, pattern empty)
+// on entry; callers restore that invariant with clearW.
 func (s *simplex) ftran(q int) {
-	for i := range s.rhs {
-		s.rhs[i] = 0
+	idx, val := s.cf.a.ColumnSlices(q)
+	pat, ok := s.lu.SolveSparseRHS(idx, val, s.w, &s.ws, s.sparseLimit())
+	if ok {
+		s.wIdx = append(s.wIdx[:0], pat...)
+	} else {
+		// The dense fallback overwrote all of w; harvest the exact nonzeros
+		// so downstream pattern consumers see a uniform representation.
+		s.wIdx = s.wIdx[:0]
+		for i, v := range s.w {
+			if v != 0 {
+				s.wIdx = append(s.wIdx, i)
+			}
+		}
 	}
-	s.cf.a.Column(q, func(row int, val float64) { s.rhs[row] = val })
-	s.lu.Solve(s.rhs, s.w, s.scratch)
-	for i := range s.etas {
-		applyEtaForward(s.etas[i], s.w)
+	s.noteSolve(ok, len(s.wIdx))
+	for _, i := range s.wIdx {
+		s.wMark[i] = true
+	}
+	// Product-form updates, spreading the pattern as they fill in.
+	for k := range s.etas {
+		e := &s.etas[k]
+		if !s.wMark[e.r] {
+			continue // w[e.r] is exactly zero: the eta cannot act
+		}
+		xr := s.w[e.r] / e.pivot
+		s.w[e.r] = xr
+		if xr == 0 {
+			continue
+		}
+		for p := e.start; p < e.end; p++ {
+			i := s.etaIdx[p]
+			s.w[i] -= s.etaVal[p] * xr
+			if !s.wMark[i] {
+				s.wMark[i] = true
+				s.wIdx = append(s.wIdx, i)
+			}
+		}
 	}
 }
 
-// btran computes y = B⁻ᵀ cB.
+// clearW restores the all-zero w invariant by wiping only the active pattern.
+func (s *simplex) clearW() {
+	for _, i := range s.wIdx {
+		s.w[i] = 0
+		s.wMark[i] = false
+	}
+	s.wIdx = s.wIdx[:0]
+}
+
+// btran computes y = B⁻ᵀ cB with the dense substitution path. It backs the
+// legacy (Dantzig/Bland) pricing loop, the periodic reduced-cost recompute,
+// and the final dual extraction.
 func (s *simplex) btran() {
 	copy(s.rhs, s.cB)
 	for i := len(s.etas) - 1; i >= 0; i-- {
-		applyEtaTranspose(s.etas[i], s.rhs)
+		e := &s.etas[i]
+		sum := 0.0
+		for p := e.start; p < e.end; p++ {
+			sum += s.etaVal[p] * s.rhs[s.etaIdx[p]]
+		}
+		s.rhs[e.r] = (s.rhs[e.r] - sum) / e.pivot
 	}
 	s.lu.SolveT(s.rhs, s.y, s.scratch)
+}
+
+// btranSparse computes rho = B⁻ᵀ v for a sparse v given in basis-position
+// space (duplicates summed), leaving the result in original row space with
+// its pattern in rhoIdx. rho must be clear on entry; callers restore the
+// invariant with clearRho.
+func (s *simplex) btranSparse(idx []int, val []float64) {
+	// Stage 1: eta transposes, still in basis-position space. Each eta only
+	// rewrites position e.r, so the pattern can grow by at most one per eta.
+	s.btvIdx = s.btvIdx[:0]
+	for p, k := range idx {
+		if !s.btvMark[k] {
+			s.btvMark[k] = true
+			s.btvIdx = append(s.btvIdx, k)
+			s.btv[k] = 0
+		}
+		s.btv[k] += val[p]
+	}
+	for i := len(s.etas) - 1; i >= 0; i-- {
+		e := &s.etas[i]
+		sum := 0.0
+		for p := e.start; p < e.end; p++ {
+			sum += s.etaVal[p] * s.btv[s.etaIdx[p]]
+		}
+		if s.btvMark[e.r] {
+			s.btv[e.r] = (s.btv[e.r] - sum) / e.pivot
+		} else if sum != 0 {
+			s.btvMark[e.r] = true
+			s.btvIdx = append(s.btvIdx, e.r)
+			s.btv[e.r] = -sum / e.pivot
+		}
+	}
+	s.posVal = s.posVal[:0]
+	for _, k := range s.btvIdx {
+		s.posVal = append(s.posVal, s.btv[k])
+	}
+	// Stage 2: the factorized transposed solve.
+	pat, ok := s.lu.SolveTSparseRHS(s.btvIdx, s.posVal, s.rho, &s.ws, s.sparseLimit())
+	for _, k := range s.btvIdx {
+		s.btv[k] = 0
+		s.btvMark[k] = false
+	}
+	s.btvIdx = s.btvIdx[:0]
+	if ok {
+		s.rhoIdx = append(s.rhoIdx[:0], pat...)
+	} else {
+		s.rhoIdx = s.rhoIdx[:0]
+		for i, v := range s.rho {
+			if v != 0 {
+				s.rhoIdx = append(s.rhoIdx, i)
+			}
+		}
+	}
+	s.noteSolve(ok, len(s.rhoIdx))
+}
+
+func (s *simplex) clearRho() {
+	for _, i := range s.rhoIdx {
+		s.rho[i] = 0
+	}
+	s.rhoIdx = s.rhoIdx[:0]
+}
+
+// btranUnit computes rho = B⁻ᵀ e_r: the r-th row of B⁻¹, whose inner
+// products with the columns of A form the simplex pivot row.
+func (s *simplex) btranUnit(r int) {
+	s.uIdx[0], s.uVal[0] = r, 1
+	s.btranSparse(s.uIdx[:], s.uVal[:])
+}
+
+// pivotRowAlpha assembles alpha = rhoᵀ A over all columns by walking the CSR
+// rows touched by the sparse BTRAN result — the hyper-sparse replacement for
+// scanning every column of A.
+func (s *simplex) pivotRowAlpha() {
+	s.alphaIdx = s.alphaIdx[:0]
+	for _, i := range s.rhoIdx {
+		ri := s.rho[i]
+		if ri == 0 {
+			continue
+		}
+		cols, vals := s.at.RowSlices(i)
+		for p, j := range cols {
+			if !s.alphaMark[j] {
+				s.alphaMark[j] = true
+				s.alphaIdx = append(s.alphaIdx, j)
+				s.alpha[j] = 0
+			}
+			s.alpha[j] += ri * vals[p]
+		}
+	}
+}
+
+func (s *simplex) clearAlpha() {
+	for _, j := range s.alphaIdx {
+		s.alpha[j] = 0
+		s.alphaMark[j] = false
+	}
+	s.alphaIdx = s.alphaIdx[:0]
 }
 
 // reducedCost computes d_j = c_j - y·a_j with the supplied cost of j.
@@ -290,10 +550,11 @@ func (s *simplex) candidate(j int, phase1 bool) (d, dir float64, ok bool) {
 	return 0, 0, false
 }
 
-// price selects an entering variable. phase1 selects against the implicit
-// infeasibility costs (zero for all nonbasic variables); phase 2 uses true
-// costs. It returns the variable, its reduced cost, and the movement
-// direction (+1 increase, -1 decrease), or q == -1 at optimality.
+// price selects an entering variable for the legacy paths. phase1 selects
+// against the implicit infeasibility costs (zero for all nonbasic
+// variables); phase 2 uses true costs. It returns the variable, its reduced
+// cost, and the movement direction (+1 increase, -1 decrease), or q == -1 at
+// optimality. It requires s.y to hold current simplex multipliers.
 //
 // The normal mode uses partial (rotating-window Dantzig) pricing: columns
 // are scanned from a rotating cursor and the best candidate within a window
@@ -331,6 +592,301 @@ func (s *simplex) price(phase1 bool) (q int, dq, dir float64) {
 	return q, dq, dir
 }
 
+// ensureDuals guarantees the maintained reduced-cost vector matches the
+// requested phase, recomputing it from scratch when a refactorization, a
+// phase switch, a Bland episode, or a cost change invalidated it, and
+// rebuilding the devex reference framework when it has gone stale. Weight
+// resets are deliberately decoupled from dual recomputes: a routine
+// refactorization does not change the basis, so the reference framework —
+// which approximates steepest-edge norms accumulated over many pivots —
+// survives it; wiping it every RefactorEvery pivots would discard exactly
+// the information that steers devex out of degenerate plateaus.
+func (s *simplex) ensureDuals(phase1 bool) {
+	if s.devexStale || s.dPhase1 != phase1 {
+		s.resetDevexWeights()
+	}
+	if s.dValid && s.dPhase1 == phase1 {
+		return
+	}
+	s.recomputeD(phase1)
+}
+
+// resetDevexWeights restarts the devex reference framework from the current
+// basis (all weights one).
+func (s *simplex) resetDevexWeights() {
+	for j := range s.devexW {
+		s.devexW[j] = 1
+	}
+	s.devexStale = false
+	s.devexResets++
+}
+
+// recomputeD rebuilds the maintained reduced costs d_j = c_j − y·a_j for
+// every nonbasic variable with an honest dense BTRAN. This is the periodic
+// drift bound: it runs at least once per refactorization cycle.
+func (s *simplex) recomputeD(phase1 bool) {
+	if phase1 {
+		s.phase1Costs()
+	} else {
+		for p := 0; p < s.cf.m; p++ {
+			s.cB[p] = s.cf.c[s.basis[p]]
+		}
+	}
+	s.btran()
+	total := s.cf.n + s.cf.m
+	for j := 0; j < total; j++ {
+		if s.vstat[j] == vBasic {
+			s.d[j] = 0
+			continue
+		}
+		cj := 0.0
+		if !phase1 {
+			cj = s.cf.c[j]
+		}
+		s.d[j] = s.reducedCost(j, cj)
+	}
+	s.dValid, s.dPhase1 = true, phase1
+	s.dRecomputes++
+}
+
+// priceDevex selects the entering variable by devex pricing over the
+// maintained reduced costs: the candidate maximizing d_j²/γ_j, where γ_j is
+// the devex reference weight approximating ‖B⁻¹a_j‖². No columns of A are
+// touched — this is a single pass over two dense arrays, which is what
+// makes full-scan (rather than windowed) pricing affordable here.
+func (s *simplex) priceDevex() (q int, dq, dir float64) {
+	q = -1
+	best := 0.0
+	tol := s.opt.OptTol
+	total := s.cf.n + s.cf.m
+	for j := 0; j < total; j++ {
+		st := s.vstat[j]
+		if st == vBasic || s.cf.lo[j] == s.cf.hi[j] {
+			continue
+		}
+		dj := s.d[j]
+		var cdir float64
+		switch st {
+		case vAtLower:
+			if dj >= -tol {
+				continue
+			}
+			cdir = 1
+		case vAtUpper:
+			if dj <= tol {
+				continue
+			}
+			cdir = -1
+		default: // vFree
+			if dj < -tol {
+				cdir = 1
+			} else if dj > tol {
+				cdir = -1
+			} else {
+				continue
+			}
+		}
+		if score := dj * dj / s.devexW[j]; score > best {
+			best, q, dq, dir = score, j, dj, cdir
+		}
+	}
+	return q, dq, dir
+}
+
+// priceMaintainedWindow selects the entering variable with the legacy
+// rotating-window partial Dantzig rule, but reading the maintained
+// reduced-cost vector instead of recomputing multipliers. It is the phase-1
+// pricing rule: on the massively degenerate phase-1 problems of network LPs
+// the devex criterion herds the iterate onto a plateau it cannot leave
+// (hundreds of consecutive zero-length steps, then a Bland crawl), while the
+// rotating window's enforced diversification walks off such plateaus in a
+// handful of iterations. Phase 1 is a small fraction of total work — and is
+// skipped almost entirely on warm starts — so the simpler rule costs little,
+// and it still prices in O(window) over a dense array thanks to the
+// maintained vector.
+func (s *simplex) priceMaintainedWindow() (q int, dq, dir float64) {
+	q = -1
+	tol := s.opt.OptTol
+	total := s.cf.n + s.cf.m
+	window := total/8 + 50
+	best := tol
+	for scanned := 0; scanned < total; scanned++ {
+		j := s.pricePos
+		s.pricePos++
+		if s.pricePos >= total {
+			s.pricePos = 0
+		}
+		st := s.vstat[j]
+		if st == vBasic || s.cf.lo[j] == s.cf.hi[j] {
+			continue
+		}
+		dj := s.d[j]
+		var cdir float64
+		switch st {
+		case vAtLower:
+			if dj >= -tol {
+				continue
+			}
+			cdir = 1
+		case vAtUpper:
+			if dj <= tol {
+				continue
+			}
+			cdir = -1
+		default: // vFree
+			if dj < -tol {
+				cdir = 1
+			} else if dj > tol {
+				cdir = -1
+			} else {
+				continue
+			}
+		}
+		if a := math.Abs(dj); a > best {
+			best, q, dq, dir = a, j, dj, cdir
+		}
+		if q >= 0 && scanned >= window {
+			break
+		}
+	}
+	return q, dq, dir
+}
+
+// phase1CostAt is the phase-1 cost of the basic variable at row position p:
+// the gradient of its bound violation.
+func (s *simplex) phase1CostAt(p int) float64 {
+	ftol := s.opt.FeasTol
+	bj := s.basis[p]
+	switch {
+	case s.xB[p] < s.cf.lo[bj]-ftol:
+		return -1
+	case s.xB[p] > s.cf.hi[bj]+ftol:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// phase1Costs fills cB with the gradient of the infeasibility sum.
+func (s *simplex) phase1Costs() {
+	for p := 0; p < s.cf.m; p++ {
+		s.cB[p] = s.phase1CostAt(p)
+	}
+}
+
+// phase1DualDelta repairs the maintained phase-1 reduced costs after a step:
+// phase-1 costs depend on which basic variables violate their bounds, and a
+// step only moves the basic variables in the FTRAN pattern, so the cost
+// change ΔcB is confined to wIdx. The correction Δd = −(B⁻ᵀ ΔcB)ᵀ A is one
+// sparse BTRAN plus CSR row walks — the same machinery as the pivot row. It
+// must run after the pivot (against the updated basis) and before clearW.
+func (s *simplex) phase1DualDelta() {
+	s.deltaIdx = s.deltaIdx[:0]
+	s.deltaVal = s.deltaVal[:0]
+	for _, p := range s.wIdx {
+		nc := s.phase1CostAt(p)
+		if nc != s.cB[p] {
+			s.deltaIdx = append(s.deltaIdx, p)
+			s.deltaVal = append(s.deltaVal, nc-s.cB[p])
+			s.cB[p] = nc
+		}
+	}
+	if len(s.deltaIdx) == 0 {
+		return
+	}
+	s.btranSparse(s.deltaIdx, s.deltaVal)
+	for _, i := range s.rhoIdx {
+		vi := s.rho[i]
+		if vi == 0 {
+			continue
+		}
+		cols, vals := s.at.RowSlices(i)
+		for p, j := range cols {
+			s.d[j] -= vi * vals[p]
+		}
+	}
+	s.clearRho()
+}
+
+// pivotDevex performs one maintained-dual pivot: it derives the pivot row
+// from a sparse BTRAN of the leaving row's unit vector, updates the devex
+// weights and the reduced costs of every column the pivot row touches,
+// applies the basis change, and (in phase 1) repairs d for the infeasibility
+// costs that the step toggled. dq is the maintained reduced cost of q that
+// pricing selected.
+func (s *simplex) pivotDevex(q int, dq, dir float64, res ratioResult, phase1 bool) error {
+	if res.flip {
+		// A bound flip leaves the basis — and therefore every reduced cost —
+		// unchanged; only the phase-1 costs can move with xB.
+		if err := s.pivot(q, dir, res); err != nil {
+			return err
+		}
+		if phase1 && s.dValid {
+			s.phase1DualDelta()
+		}
+		s.clearW()
+		return nil
+	}
+	r := res.r
+	if s.dValid {
+		alphaQ := s.w[r]
+		s.btranUnit(r)
+		s.pivotRowAlpha()
+		thetaD := dq / alphaQ
+		gq := s.devexW[q]
+		if gq > 1e7 {
+			// The reference framework has drifted far from the current
+			// basis; schedule a restart (classic devex restart criterion).
+			s.devexStale = true
+		}
+		leaving := s.basis[r]
+		for _, j := range s.alphaIdx {
+			if s.vstat[j] == vBasic || j == q {
+				continue
+			}
+			aj := s.alpha[j]
+			s.d[j] -= thetaD * aj
+			ratio := aj / alphaQ
+			if g := ratio * ratio * gq; g > s.devexW[j] {
+				s.devexW[j] = g
+			}
+		}
+		s.d[q] = 0
+		// The leaving variable's reduced cost becomes c_l − y'·a_l =
+		// (c_l − y·a_l) − θ_d. In phase 2 the parenthesis is zero (a basic
+		// variable prices out exactly); in phase 1 the variable's cost as a
+		// nonbasic (zero) differs from its basic infeasibility gradient
+		// cB[r], leaving a −cB[r] residue.
+		dLeave := -thetaD
+		if phase1 {
+			dLeave -= s.cB[r]
+		}
+		s.d[leaving] = dLeave
+		if g := gq / (alphaQ * alphaQ); g > 1 {
+			s.devexW[leaving] = g
+		} else {
+			s.devexW[leaving] = 1
+		}
+		s.clearAlpha()
+		s.clearRho()
+		if phase1 {
+			// The swap update above installed q's nonbasic phase-1 cost
+			// (zero) as row r's basic cost; sync the maintained cB so
+			// phase1DualDelta below measures its correction against that,
+			// not against the departed variable's old cost.
+			s.cB[r] = 0
+		}
+	}
+	if err := s.pivot(q, dir, res); err != nil {
+		return err
+	}
+	if phase1 && s.dValid {
+		s.phase1DualDelta()
+	}
+	s.clearW()
+	return nil
+}
+
 // ratioResult describes the outcome of a ratio test.
 type ratioResult struct {
 	t       float64 // step length
@@ -341,7 +897,8 @@ type ratioResult struct {
 }
 
 // ratioTest determines how far the entering variable q can move in
-// direction dir.
+// direction dir. All passes iterate the FTRAN pattern wIdx rather than every
+// row: w is exactly zero off-pattern, and zero entries cannot block.
 //
 // Phase 2 (feasible, non-Bland) uses a Harris-style two-pass test: pass one
 // computes the maximum step with all bounds relaxed by the feasibility
@@ -365,7 +922,7 @@ func (s *simplex) ratioTest(q int, dir float64, phase1 bool) ratioResult {
 		res.flip = true
 	}
 	bestPivot := 0.0
-	for p := 0; p < s.cf.m; p++ {
+	for _, p := range s.wIdx {
 		wp := s.w[p]
 		if math.Abs(wp) < s.opt.PivotTol {
 			continue
@@ -433,7 +990,7 @@ func (s *simplex) ratioTestHarris(q int, dir float64) ratioResult {
 	ftol := s.opt.FeasTol
 	// Pass 1: maximum step with bounds relaxed by ftol.
 	tmax := math.Inf(1)
-	for p := 0; p < s.cf.m; p++ {
+	for _, p := range s.wIdx {
 		wp := s.w[p]
 		if math.Abs(wp) < s.opt.PivotTol {
 			continue
@@ -470,7 +1027,7 @@ func (s *simplex) ratioTestHarris(q int, dir float64) ratioResult {
 	// Pass 2: largest pivot among rows whose strict ratio fits in tmax.
 	res := ratioResult{t: 0, r: -1}
 	bestPivot := 0.0
-	for p := 0; p < s.cf.m; p++ {
+	for _, p := range s.wIdx {
 		wp := s.w[p]
 		if math.Abs(wp) < s.opt.PivotTol {
 			continue
@@ -517,7 +1074,7 @@ func (s *simplex) ratioTestHarris(q int, dir float64) ratioResult {
 	if res.r < 0 {
 		// Every candidate's strict ratio exceeded tmax (can only happen
 		// through rounding); fall back to the smallest strict ratio.
-		for p := 0; p < s.cf.m; p++ {
+		for _, p := range s.wIdx {
 			wp := s.w[p]
 			if math.Abs(wp) < s.opt.PivotTol {
 				continue
@@ -553,15 +1110,16 @@ func (s *simplex) ratioTestHarris(q int, dir float64) ratioResult {
 	return res
 }
 
-// pivot applies the step chosen by the ratio test.
+// pivot applies the step chosen by the ratio test, recording the eta in the
+// pooled store. Only the FTRAN pattern is touched.
 func (s *simplex) pivot(q int, dir float64, res ratioResult) error {
 	t := res.t
 	enterVal := s.nbValue(q) // capture before any status change
 	// Move all basic variables along the direction.
 	if t != 0 {
-		for p := 0; p < s.cf.m; p++ {
-			if s.w[p] != 0 {
-				s.xB[p] -= dir * s.w[p] * t
+		for _, p := range s.wIdx {
+			if wp := s.w[p]; wp != 0 {
+				s.xB[p] -= dir * wp * t
 			}
 		}
 	}
@@ -580,14 +1138,14 @@ func (s *simplex) pivot(q int, dir float64, res ratioResult) error {
 	s.basis[r] = q
 	s.xB[r] = enterVal + dir*t
 	// Record the eta transformation for subsequent FTRAN/BTRAN.
-	e := eta{r: r, pivot: s.w[r]}
-	for i, wi := range s.w {
-		if i != r && wi != 0 {
-			e.idx = append(e.idx, i)
-			e.val = append(e.val, wi)
+	start := len(s.etaIdx)
+	for _, i := range s.wIdx {
+		if i != r && s.w[i] != 0 {
+			s.etaIdx = append(s.etaIdx, i)
+			s.etaVal = append(s.etaVal, s.w[i])
 		}
 	}
-	s.etas = append(s.etas, e)
+	s.etas = append(s.etas, eta{start: start, end: len(s.etaIdx), r: r, pivot: s.w[r]})
 	if len(s.etas) >= s.opt.RefactorEvery {
 		return s.refactorize()
 	}
@@ -609,22 +1167,6 @@ func (s *simplex) infeasibility() float64 {
 	return sum
 }
 
-// phase1Costs fills cB with the gradient of the infeasibility sum.
-func (s *simplex) phase1Costs() {
-	ftol := s.opt.FeasTol
-	for p := 0; p < s.cf.m; p++ {
-		bj := s.basis[p]
-		switch {
-		case s.xB[p] < s.cf.lo[bj]-ftol:
-			s.cB[p] = -1
-		case s.xB[p] > s.cf.hi[bj]+ftol:
-			s.cB[p] = 1
-		default:
-			s.cB[p] = 0
-		}
-	}
-}
-
 // noteStep updates anti-cycling state after a step of length t. Bland mode
 // engages after a long degenerate stall and disengages only after a run of
 // genuinely progressing steps, so a stall-progress-stall oscillation cannot
@@ -633,8 +1175,9 @@ func (s *simplex) noteStep(t float64) {
 	if t <= 1e-10 {
 		s.stallCount++
 		s.goodSteps = 0
-		if s.stallCount > 300 {
+		if s.stallCount > 300 && !s.bland {
 			s.bland = true
+			s.devexStale = true // restart the reference framework afterwards
 		}
 		return
 	}
@@ -667,6 +1210,9 @@ func (s *simplex) clearPerturbation() bool {
 		}
 	}
 	copy(s.cf.c, s.cf.c0)
+	if changed {
+		s.dValid = false // maintained reduced costs priced the old costs
+	}
 	return changed
 }
 
@@ -692,40 +1238,11 @@ func (m *Model) solveDirect(opts *Options) (*Solution, error) {
 	}
 	opt := opts.withDefaults(cf.m, cf.n)
 	cf.perturb(opt.Perturb)
-	s := &simplex{
-		cf:      cf,
-		opt:     opt,
-		basis:   make([]int, cf.m),
-		vstat:   make([]vstatus, cf.n+cf.m),
-		xB:      make([]float64, cf.m),
-		w:       make([]float64, cf.m),
-		y:       make([]float64, cf.m),
-		cB:      make([]float64, cf.m),
-		scratch: make([]float64, cf.m),
-		rhs:     make([]float64, cf.m),
-	}
+	s := newSimplex(cf, opt)
 	if opt.InitialBasis != nil && s.tryWarmStart(opt.InitialBasis) {
 		s.warmStarted = true
-	} else {
-		// Cold start from the all-logical basis; structurals rest at a
-		// finite bound.
-		for j := 0; j < cf.n; j++ {
-			switch {
-			case !math.IsInf(cf.lo[j], -1):
-				s.vstat[j] = vAtLower
-			case !math.IsInf(cf.hi[j], 1):
-				s.vstat[j] = vAtUpper
-			default:
-				s.vstat[j] = vFree
-			}
-		}
-		for i := 0; i < cf.m; i++ {
-			s.basis[i] = cf.n + i
-			s.vstat[cf.n+i] = vBasic
-		}
-		if err := s.refactorize(); err != nil {
-			return nil, err
-		}
+	} else if err := s.coldStart(); err != nil {
+		return nil, err
 	}
 
 	status, err := s.run()
@@ -733,6 +1250,27 @@ func (m *Model) solveDirect(opts *Options) (*Solution, error) {
 		return nil, err
 	}
 	return s.solution(m, status), nil
+}
+
+// coldStart installs the all-logical basis; structurals rest at a finite
+// bound.
+func (s *simplex) coldStart() error {
+	cf := s.cf
+	for j := 0; j < cf.n; j++ {
+		switch {
+		case !math.IsInf(cf.lo[j], -1):
+			s.vstat[j] = vAtLower
+		case !math.IsInf(cf.hi[j], 1):
+			s.vstat[j] = vAtUpper
+		default:
+			s.vstat[j] = vFree
+		}
+	}
+	for i := 0; i < cf.m; i++ {
+		s.basis[i] = cf.n + i
+		s.vstat[cf.n+i] = vBasic
+	}
+	return s.refactorize()
 }
 
 // run executes both simplex phases and returns the final status. Phase 2
@@ -762,9 +1300,13 @@ func (s *simplex) run() (Status, error) {
 // runPhase1 drives out primal infeasibility. done is false only when the
 // caller should proceed to phase 2. Infeasibility is only ever declared
 // from the dual criterion (no improving direction); numerical drift
-// discovered after a refactorization sends the loop back to pivoting.
+// discovered after a refactorization sends the loop back to pivoting. The
+// devex path additionally re-verifies a no-direction verdict on honestly
+// recomputed reduced costs before concluding, since the maintained vector
+// it priced may have drifted.
 func (s *simplex) runPhase1() (Status, bool, error) {
 	exitTol := s.opt.FeasTol * float64(1+s.cf.m)
+	confirmed := false
 	for {
 		if s.iters >= s.opt.MaxIterations {
 			return IterLimit, true, nil
@@ -779,12 +1321,54 @@ func (s *simplex) runPhase1() (Status, bool, error) {
 			}
 			continue // drift was hiding real infeasibility: keep pivoting
 		}
+		if s.useDevex && !s.bland {
+			s.ensureDuals(true)
+			s.debugCheckDuals(true)
+			q, dq, dir := s.priceMaintainedWindow()
+			if q < 0 {
+				// No improving direction: the dual certificate of phase-1
+				// optimality. Recompute honestly before concluding.
+				if err := s.refactorize(); err != nil {
+					return 0, true, err
+				}
+				if s.infeasibility() <= 2*exitTol {
+					break
+				}
+				if !confirmed {
+					confirmed = true // refactorize invalidated d: re-price
+					continue
+				}
+				return Infeasible, true, nil
+			}
+			confirmed = false
+			s.ftran(q)
+			res := s.ratioTest(q, dir, true)
+			if res.unbound {
+				// A descent direction for a nonnegative objective cannot be
+				// unbounded; treat as numerical breakdown and refactorize once.
+				if err := s.refactorize(); err != nil {
+					return 0, true, err
+				}
+				if res2 := s.ratioTest(q, dir, true); !res2.unbound {
+					res = res2
+				} else {
+					return 0, true, fmt.Errorf("lp: phase-1 ratio test found no blocking bound")
+				}
+			}
+			if err := s.pivotDevex(q, dq, dir, res, true); err != nil {
+				return 0, true, err
+			}
+			s.noteStep(res.t)
+			s.iters++
+			s.phase1Iters++
+			continue
+		}
+		// Legacy path: Bland anti-cycling and Dantzig pricing recompute the
+		// multipliers densely every iteration.
 		s.phase1Costs()
 		s.btran()
 		q, _, dir := s.price(true)
 		if q < 0 {
-			// No improving direction: the dual certificate of phase-1
-			// optimality. Recompute honestly before concluding.
 			if err := s.refactorize(); err != nil {
 				return 0, true, err
 			}
@@ -796,8 +1380,6 @@ func (s *simplex) runPhase1() (Status, bool, error) {
 		s.ftran(q)
 		res := s.ratioTest(q, dir, true)
 		if res.unbound {
-			// A descent direction for a nonnegative objective cannot be
-			// unbounded; treat as numerical breakdown and refactorize once.
 			if err := s.refactorize(); err != nil {
 				return 0, true, err
 			}
@@ -810,6 +1392,8 @@ func (s *simplex) runPhase1() (Status, bool, error) {
 		if err := s.pivot(q, dir, res); err != nil {
 			return 0, true, err
 		}
+		s.dValid = false // pivoted without maintaining d
+		s.clearW()
 		s.noteStep(res.t)
 		s.iters++
 		s.phase1Iters++
@@ -819,9 +1403,14 @@ func (s *simplex) runPhase1() (Status, bool, error) {
 }
 
 // runPhase2 optimizes the true costs. done is false only when feasibility
-// drifted beyond tolerance and phase 1 must be re-entered.
+// drifted beyond tolerance and phase 1 must be re-entered. On the devex
+// path a claimed optimum (or unbounded ray) is confirmed once against
+// honestly recomputed reduced costs before it is returned, bounding the
+// damage maintained-dual drift can do.
 func (s *simplex) runPhase2() (Status, bool, error) {
 	driftLimit := math.Sqrt(s.opt.FeasTol) * float64(1+s.cf.m)
+	confirmed := false
+	unboundConfirmed := false
 	for {
 		if s.iters >= s.opt.MaxIterations {
 			return IterLimit, true, nil
@@ -834,6 +1423,51 @@ func (s *simplex) runPhase2() (Status, bool, error) {
 				return 0, false, nil // genuinely drifted: redo phase 1
 			}
 		}
+		if s.useDevex && !s.bland {
+			s.ensureDuals(false)
+			s.debugCheckDuals(false)
+			q, dq, dir := s.priceDevex()
+			if q < 0 {
+				if !confirmed {
+					confirmed = true
+					if err := s.refactorize(); err != nil {
+						return 0, true, err
+					}
+					continue // d invalidated: recompute and re-price
+				}
+				return Optimal, true, nil
+			}
+			confirmed = false
+			s.ftran(q)
+			res := s.ratioTest(q, dir, false)
+			if res.unbound {
+				s.clearW()
+				// An unbounded certificate under perturbed costs may be an
+				// artifact: a truly zero-cost ray picks up a tiny perturbed
+				// cost and looks improving. Strip the perturbation and
+				// re-price with the honest costs before concluding; with
+				// maintained duals, additionally confirm on recomputed d.
+				if s.clearPerturbation() {
+					continue
+				}
+				if !unboundConfirmed {
+					unboundConfirmed = true
+					if err := s.refactorize(); err != nil {
+						return 0, true, err
+					}
+					continue
+				}
+				return Unbounded, true, nil
+			}
+			unboundConfirmed = false
+			if err := s.pivotDevex(q, dq, dir, res, false); err != nil {
+				return 0, true, err
+			}
+			s.noteStep(res.t)
+			s.iters++
+			continue
+		}
+		// Legacy path (Bland or Dantzig pricing).
 		for p := 0; p < s.cf.m; p++ {
 			s.cB[p] = s.cf.c[s.basis[p]]
 		}
@@ -845,10 +1479,7 @@ func (s *simplex) runPhase2() (Status, bool, error) {
 		s.ftran(q)
 		res := s.ratioTest(q, dir, false)
 		if res.unbound {
-			// An unbounded certificate under perturbed costs may be an
-			// artifact: a truly zero-cost ray picks up a tiny perturbed
-			// cost and looks improving. Strip the perturbation and
-			// re-price with the honest costs before concluding.
+			s.clearW()
 			if s.clearPerturbation() {
 				continue
 			}
@@ -857,6 +1488,8 @@ func (s *simplex) runPhase2() (Status, bool, error) {
 		if err := s.pivot(q, dir, res); err != nil {
 			return 0, true, err
 		}
+		s.dValid = false // pivoted without maintaining d
+		s.clearW()
 		s.noteStep(res.t)
 		s.iters++
 	}
@@ -865,15 +1498,21 @@ func (s *simplex) runPhase2() (Status, bool, error) {
 // solution extracts a Solution in the original model's terms.
 func (s *simplex) solution(m *Model, status Status) *Solution {
 	sol := &Solution{
-		Status:      status,
-		X:           make([]float64, s.cf.n),
-		Dual:        make([]float64, s.cf.m),
-		ReducedObj:  make([]float64, s.cf.n),
-		Iterations:  s.iters,
-		Phase1Iter:  s.phase1Iters,
-		Factorized:  s.factorCount,
-		Basis:       s.captureBasis(),
-		WarmStarted: s.warmStarted,
+		Status:          status,
+		X:               make([]float64, s.cf.n),
+		Dual:            make([]float64, s.cf.m),
+		ReducedObj:      make([]float64, s.cf.n),
+		Iterations:      s.iters,
+		Phase1Iter:      s.phase1Iters,
+		Factorized:      s.factorCount,
+		Basis:           s.captureBasis(),
+		WarmStarted:     s.warmStarted,
+		SparseSolves:    s.sparseSolves,
+		DenseSolves:     s.denseSolves,
+		SolveNNZ:        s.solveNNZ,
+		SolveDim:        s.solveDim,
+		DevexResets:     s.devexResets,
+		DualRecomputes:  s.dRecomputes,
 	}
 	if status != Optimal && status != IterLimit {
 		return sol

@@ -30,6 +30,17 @@ type LU struct {
 	uVal    []float64
 	uDiag   []float64
 
+	// Row-major patterns of L and U (pattern only, no values), built once at
+	// the end of factorization. The sparse-RHS transposed solves use them to
+	// run Gilbert-Peierls reachability in the transposed direction: row j of
+	// L (resp. U) lists the columns k whose column contains row j, i.e. the
+	// successors of node j in the dependency DAG of the Lᵀ (resp. Uᵀ)
+	// triangular solve.
+	lRowPtr []int
+	lRowCol []int
+	uRowPtr []int
+	uRowCol []int
+
 	pinv []int // original row -> pivot position
 	perm []int // pivot position -> original row
 
@@ -202,7 +213,39 @@ func Factorize(n int, column func(k int) ([]int, []float64), pivTol float64) (*L
 	for p, r := range f.lRow {
 		f.lRow[p] = f.pinv[r]
 	}
+	f.buildRowPatterns()
 	return f, nil
+}
+
+// buildRowPatterns assembles the row-major patterns of L and U (in pivot
+// space) that the transposed sparse solves traverse.
+func (f *LU) buildRowPatterns() {
+	f.lRowPtr, f.lRowCol = transposePattern(f.n, f.lColPtr, f.lRow)
+	f.uRowPtr, f.uRowCol = transposePattern(f.n, f.uColPtr, f.uRow)
+}
+
+// transposePattern converts a CSC pattern into the corresponding CSR
+// pattern: for each row r, the list of columns k whose column contains r.
+// Column lists come out sorted ascending.
+func transposePattern(n int, colPtr, rowIdx []int) (rowPtr, rowCol []int) {
+	rowPtr = make([]int, n+1)
+	for _, r := range rowIdx {
+		rowPtr[r+1]++
+	}
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	rowCol = make([]int, len(rowIdx))
+	next := make([]int, n)
+	copy(next, rowPtr[:n])
+	for k := 0; k < n; k++ {
+		for c := colPtr[k]; c < colPtr[k+1]; c++ {
+			r := rowIdx[c]
+			rowCol[next[r]] = k
+			next[r]++
+		}
+	}
+	return rowPtr, rowCol
 }
 
 // FactorizeBasis factorizes the square basis matrix whose k-th column is

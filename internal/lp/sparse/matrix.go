@@ -103,6 +103,9 @@ func (m *Matrix) sortAndDedup() {
 // NNZ reports the number of stored entries.
 func (m *Matrix) NNZ() int { return len(m.RowIdx) }
 
+// ColumnNNZ reports the number of stored entries in column j.
+func (m *Matrix) ColumnNNZ(j int) int { return m.ColPtr[j+1] - m.ColPtr[j] }
+
 // Column invokes fn for every stored entry (row, value) of column j.
 func (m *Matrix) Column(j int, fn func(row int, val float64)) {
 	for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
@@ -155,6 +158,60 @@ func (m *Matrix) MulTVec(x, y []float64) {
 		y[j] = sum
 	}
 }
+
+// CSR is an immutable row-major (compressed sparse-row) mirror of a
+// Matrix. Row i occupies positions RowPtr[i]..RowPtr[i+1] of ColIdx and
+// Val, with column indices sorted ascending. The revised simplex keeps a
+// CSR mirror of the constraint matrix alongside the CSC original so the
+// pivot row of B⁻¹A can be assembled by walking only the rows touched by a
+// sparse BTRAN result, instead of scanning every column.
+type CSR struct {
+	Rows   int
+	Cols   int
+	RowPtr []int     // length Rows+1
+	ColIdx []int     // length nnz
+	Val    []float64 // length nnz
+}
+
+// ToCSR builds the row-major mirror of the matrix. The result shares no
+// storage with the receiver.
+func (m *Matrix) ToCSR() *CSR {
+	c := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: make([]int, m.Rows+1),
+		ColIdx: make([]int, len(m.RowIdx)),
+		Val:    make([]float64, len(m.Val)),
+	}
+	for _, i := range m.RowIdx {
+		c.RowPtr[i+1]++
+	}
+	for i := 0; i < m.Rows; i++ {
+		c.RowPtr[i+1] += c.RowPtr[i]
+	}
+	next := make([]int, m.Rows)
+	copy(next, c.RowPtr[:m.Rows])
+	// Scanning columns in ascending order leaves each row's column indices
+	// sorted ascending.
+	for j := 0; j < m.Cols; j++ {
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			i := m.RowIdx[p]
+			c.ColIdx[next[i]] = j
+			c.Val[next[i]] = m.Val[p]
+			next[i]++
+		}
+	}
+	return c
+}
+
+// RowSlices returns the column-index and value slices of row i. The
+// returned slices alias the CSR and must not be mutated.
+func (c *CSR) RowSlices(i int) ([]int, []float64) {
+	return c.ColIdx[c.RowPtr[i]:c.RowPtr[i+1]], c.Val[c.RowPtr[i]:c.RowPtr[i+1]]
+}
+
+// RowNNZ reports the number of stored entries in row i.
+func (c *CSR) RowNNZ(i int) int { return c.RowPtr[i+1] - c.RowPtr[i] }
 
 // Dense expands the matrix to a dense row-major [][]float64. For tests.
 func (m *Matrix) Dense() [][]float64 {

@@ -377,16 +377,25 @@ func (r *FigureResult) SolverTable() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "LP solver work (fig %d):\n", r.Setting.Figure)
-	fmt.Fprintf(&b, "%-16s %8s %8s %8s %10s %10s %10s %10s\n",
-		"scheduler", "solves", "warm", "reuses", "iters", "phase1", "pre-cols", "pre-rows")
+	fmt.Fprintf(&b, "%-16s %8s %8s %8s %10s %10s %10s %10s %8s %8s %8s %8s\n",
+		"scheduler", "solves", "warm", "reuses", "iters", "phase1", "pre-cols", "pre-rows",
+		"sparse%", "density", "dvx-rst", "d-recmp")
 	for _, s := range r.Schedulers {
 		if s.Solver.Solves == 0 {
 			continue
 		}
 		st := s.Solver
-		fmt.Fprintf(&b, "%-16s %8d %8d %8d %10d %10d %10d %10d\n",
+		hit, density := 0.0, 0.0
+		if n := st.SparseSolves + st.DenseSolves; n > 0 {
+			hit = 100 * float64(st.SparseSolves) / float64(n)
+		}
+		if st.SolveDim > 0 {
+			density = float64(st.SolveNNZ) / float64(st.SolveDim)
+		}
+		fmt.Fprintf(&b, "%-16s %8d %8d %8d %10d %10d %10d %10d %7.1f%% %8.3f %8d %8d\n",
 			s.Name, st.Solves, st.WarmSolves, st.GraphReuses,
-			st.Iterations, st.Phase1Iter, st.PresolveCols, st.PresolveRows)
+			st.Iterations, st.Phase1Iter, st.PresolveCols, st.PresolveRows,
+			hit, density, st.DevexResets, st.DualRecomputes)
 	}
 	return b.String()
 }

@@ -124,6 +124,12 @@ func (p *Postcard) Schedule(ledger *netmodel.Ledger, files []netmodel.File, slot
 			p.stats.Phase1Iter += res.Phase1Iter
 			p.stats.PresolveCols += res.PresolveCols
 			p.stats.PresolveRows += res.PresolveRows
+			p.stats.SparseSolves += res.SparseSolves
+			p.stats.DenseSolves += res.DenseSolves
+			p.stats.SolveNNZ += res.SolveNNZ
+			p.stats.SolveDim += res.SolveDim
+			p.stats.DevexResets += res.DevexResets
+			p.stats.DualRecomputes += res.DualRecomputes
 		}
 	}
 	if err != nil {

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# bench.sh — run the PR 3 headline benchmarks and write a machine-readable
+# summary to BENCH_PR3.json (override with $1). The three benchmarks are
+# the hyper-sparse simplex engine's acceptance gates:
+#
+#   BenchmarkFig4          end-to-end figure regeneration (cold solver);
+#                          the postcard-lp-iters and postcard-sparse-hit%
+#                          metrics track pricing quality and the
+#                          hyper-sparse FTRAN/BTRAN hit rate.
+#   BenchmarkFig4WarmStart cold vs warm-started incremental solver on
+#                          identical traces; postcard-warm-lp-iters is the
+#                          basis-reuse win.
+#   BenchmarkPostcardSolve one offline 40-file instance; ns/op is the
+#                          single-solve latency gate.
+#
+# Usage:  scripts/bench.sh [output.json]
+# Env:    BENCH_COUNT  benchmark repetitions per entry (default 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR3.json}"
+count="${BENCH_COUNT:-3}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+  -bench '^(BenchmarkFig4|BenchmarkFig4WarmStart|BenchmarkPostcardSolve)$' \
+  -benchmem -count "$count" . | tee "$raw"
+
+python3 - "$raw" "$out" <<'PYEOF'
+import json, re, sys, datetime
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+benches = {}
+line_re = re.compile(r'^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$')
+for line in open(raw_path):
+    m = line_re.match(line.strip())
+    if not m:
+        continue
+    name, iters, rest = m.group(1), int(m.group(2)), m.group(3)
+    run = {"iterations": iters, "metrics": {}}
+    for val, unit in re.findall(r'([0-9.e+-]+)\s+(\S+)', rest):
+        v = float(val)
+        if unit == "ns/op":
+            run["ns_per_op"] = v
+        elif unit == "B/op":
+            run["bytes_per_op"] = v
+        elif unit == "allocs/op":
+            run["allocs_per_op"] = v
+        else:
+            run["metrics"][unit] = v
+    benches.setdefault(name, []).append(run)
+
+summary = []
+for name, runs in benches.items():
+    entry = {"name": name, "runs": runs}
+    ns = [r["ns_per_op"] for r in runs if "ns_per_op" in r]
+    if ns:
+        entry["best_ns_per_op"] = min(ns)
+    # Metric values are identical across repetitions (they are totals of a
+    # deterministic run), so take them from the last repetition.
+    entry["metrics"] = runs[-1]["metrics"]
+    summary.append(entry)
+
+doc = {
+    "generated_utc": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "benchmarks": summary,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"\nwrote {out_path}")
+PYEOF
