@@ -69,6 +69,14 @@ func benchFigure(b *testing.B, figure int, scale postcard.Scale, mkSchedulers fu
 		if tot := s.Solver.SparseSolves + s.Solver.DenseSolves; tot > 0 {
 			b.ReportMetric(100*float64(s.Solver.SparseSolves)/float64(tot), s.Name+"-sparse-hit%")
 		}
+		if u := s.Solver.VarUniverse + s.Solver.PrunedVars; u > 0 {
+			b.ReportMetric(100*float64(s.Solver.PrunedVars)/float64(u), s.Name+"-pruned%")
+		}
+		if s.Solver.ColGenUniverse > 0 {
+			b.ReportMetric(float64(s.Solver.ColGenRounds), s.Name+"-colgen-rounds")
+			b.ReportMetric(float64(s.Solver.ColGenColumns), s.Name+"-colgen-cols")
+			b.ReportMetric(100*float64(s.Solver.ColGenColumns)/float64(s.Solver.ColGenUniverse), s.Name+"-colgen-gen%")
+		}
 	}
 }
 
@@ -214,6 +222,13 @@ func BenchmarkPostcardSolve(b *testing.B) {
 	b.ReportMetric(float64(last.Iterations), "lp-iters")
 	if tot := last.SparseSolves + last.DenseSolves; tot > 0 {
 		b.ReportMetric(100*float64(last.SparseSolves)/float64(tot), "sparse-hit%")
+	}
+	if u := last.VarUniverse + last.PrunedVars; u > 0 {
+		b.ReportMetric(100*float64(last.PrunedVars)/float64(u), "pruned%")
+	}
+	if last.ColGenUniverse > 0 {
+		b.ReportMetric(float64(last.ColGenRounds), "colgen-rounds")
+		b.ReportMetric(100*float64(last.ColGenColumns)/float64(last.ColGenUniverse), "colgen-gen%")
 	}
 }
 

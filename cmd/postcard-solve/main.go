@@ -145,6 +145,15 @@ func run() error {
 				100*float64(lpRes.SparseSolves)/float64(tot), lpRes.SparseSolves, tot,
 				density, lpRes.DevexResets, lpRes.DualRecomputes)
 		}
+		if u := lpRes.VarUniverse + lpRes.PrunedVars; u > 0 {
+			fmt.Printf("lp pruning: %d of %d universe variables removed (%.1f%%), %d conservation rows\n",
+				lpRes.PrunedVars, u, 100*float64(lpRes.PrunedVars)/float64(u), lpRes.PrunedRows)
+		}
+		if lpRes.ColGenUniverse > 0 {
+			fmt.Printf("lp column generation: %d rounds, %d of %d delayed columns materialized (%.1f%%)\n",
+				lpRes.ColGenRounds, lpRes.ColGenColumns, lpRes.ColGenUniverse,
+				100*float64(lpRes.ColGenColumns)/float64(lpRes.ColGenUniverse))
+		}
 	}
 	return nil
 }

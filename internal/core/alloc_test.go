@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/interdc/postcard/internal/netmodel"
+	"github.com/interdc/postcard/internal/timegraph"
+)
+
+// TestPrepareRecycledAllocs pins the buffer-reuse property of the LP
+// construction path: once a recycled builder has been through one slot, a
+// subsequent prepare — model reset, variable universe walk, crash-route
+// marking, and every capacity/charge/conservation row — must stay within a
+// small constant allocation budget. The residue is the per-file
+// reachability bookkeeping (BFS distance vectors and the crash-route path),
+// which is O(files x DCs) small slices; the model rows, columns, key
+// registries and pricing registries must all come from the recycled
+// backing. A regression here turns every slot of a long simulation back
+// into an allocation storm (see TestSteadyStateIterationAllocs for the
+// same property one layer down).
+func TestPrepareRecycledAllocs(t *testing.T) {
+	nw := chainNetwork(t, 6, 50)
+	ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []netmodel.File{
+		{ID: 0, Src: 0, Dst: 3, Size: 9, Release: 0, Deadline: 3},
+		{ID: 1, Src: 1, Dst: 5, Size: 14, Release: 0, Deadline: 2},
+		{ID: 2, Src: 4, Dst: 2, Size: 6, Release: 1, Deadline: 3},
+	}
+	tg, err := timegraph.Build(nw, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := (*Config)(nil).withDefaults()
+	b, err := prepare(tg, ledger, files, conf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		b, err = prepare(tg, ledger, files, conf, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 3 files x (2 BFS passes + crash-route path) of small slices, plus the
+	// per-call reachability header; everything else is recycled. Measured
+	// 58; the bound carries ~50% headroom.
+	const budget = 90
+	t.Logf("allocs/slot: %.1f", allocs)
+	if allocs > budget {
+		t.Fatalf("recycled prepare allocates %.0f times per slot, want <= %d", allocs, budget)
+	}
+}

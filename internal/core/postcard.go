@@ -51,6 +51,20 @@ type Config struct {
 	LP *lp.Options
 	// SkipVerify disables the independent schedule verification pass.
 	SkipVerify bool
+	// DisableColGen materializes the entire pruned variable universe up
+	// front instead of starting from a restricted master (crash-route and
+	// storage columns) and generating the remaining columns on demand.
+	// Delayed column generation is exact — it terminates at the same
+	// optimum as the full model — so this switch exists for equivalence
+	// gates, fuzzing, and A/B benchmarks, not for correctness.
+	DisableColGen bool
+	// DisablePruning instantiates per-file variables and conservation rows
+	// even at (datacenter, layer) pairs that deadline reachability proves
+	// useless (dist(src, i) > elapsed or dist(j, dst) > remaining).
+	// Pruning is lossless — such a variable can never carry flow on a
+	// feasible source-to-destination path — so this switch likewise exists
+	// only for equivalence testing.
+	DisablePruning bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -100,6 +114,26 @@ type Result struct {
 	// restarts and full reduced-cost recomputations inside the simplex.
 	DevexResets    int
 	DualRecomputes int
+	// VarUniverse is the number of per-file transfer/holdover columns in
+	// the pruned universe — what a full (non-column-generated) model would
+	// materialize. Variables reports how many columns actually exist after
+	// the solve; the difference is the column-generation saving.
+	VarUniverse int
+	// PrunedVars and PrunedRows count the variables and conservation rows
+	// that deadline-reachability pruning removed from the model before it
+	// was ever assembled (zero under Config.DisablePruning, and zero on
+	// complete overlays, where every datacenter is one hop from every
+	// other).
+	PrunedVars int
+	PrunedRows int
+	// ColGenRounds, ColGenColumns and ColGenUniverse describe the delayed
+	// column generation: restricted-master solves performed, delayed
+	// columns materialized, and the delayed universe that was priced
+	// implicitly. All zero when generation did not run (Config.
+	// DisableColGen, or a model whose universe fits the restriction).
+	ColGenRounds   int
+	ColGenColumns  int
+	ColGenUniverse int
 }
 
 // UnroutableError reports files whose destination is structurally
@@ -138,7 +172,7 @@ func Solve(ledger *netmodel.Ledger, files []netmodel.File, t int, cfg *Config) (
 	if err != nil {
 		return nil, err
 	}
-	b, err := prepare(tg, ledger, files, conf)
+	b, err := prepare(tg, ledger, files, conf, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +226,7 @@ func requiredHorizon(nw *netmodel.Network, files []netmodel.File, t int) (int, e
 // files' needs (a Solver reuses one skeleton across slots); surplus layers
 // contribute no variables or rows, so the assembled model is identical to
 // one built on a tight graph.
-func prepare(tg *timegraph.Graph, ledger *netmodel.Ledger, files []netmodel.File, conf Config) (*builder, error) {
+func prepare(tg *timegraph.Graph, ledger *netmodel.Ledger, files []netmodel.File, conf Config, recycle *builder) (*builder, error) {
 	reach := make([]timegraph.Reachability, len(files))
 	var unroutable []int
 	for k, f := range files {
@@ -205,7 +239,16 @@ func prepare(tg *timegraph.Graph, ledger *netmodel.Ledger, files []netmodel.File
 		sort.Ints(unroutable)
 		return nil, &UnroutableError{FileIDs: unroutable}
 	}
-	b := newBuilder(tg, ledger, files, reach, conf)
+	if conf.DisablePruning {
+		// The structural routability check above always uses the true hop
+		// distances, so pruned and unpruned configurations reject exactly
+		// the same inputs; only the model construction goes permissive.
+		perm := timegraph.Permissive(tg.Network().NumDCs())
+		for k := range reach {
+			reach[k] = perm
+		}
+	}
+	b := newBuilder(recycle, tg, ledger, files, reach, conf)
 	if err := b.build(); err != nil {
 		return nil, err
 	}
@@ -213,10 +256,18 @@ func prepare(tg *timegraph.Graph, ledger *netmodel.Ledger, files []netmodel.File
 }
 
 // solve runs the assembled LP with the given solver options and converts
-// the outcome into a Result. The raw lp.Solution is returned alongside so
-// the incremental Solver can harvest its basis snapshot.
+// the outcome into a Result. A builder with delayed columns solves by
+// column generation; one fully materialized (DisableColGen, or a universe
+// the restriction covers) solves directly. The raw lp.Solution is returned
+// alongside so the incremental Solver can harvest its basis snapshot.
 func (b *builder) solve(opts *lp.Options) (*Result, *lp.Solution, error) {
-	sol, err := b.model.Solve(opts)
+	var sol *lp.Solution
+	var err error
+	if len(b.delayed) > 0 {
+		sol, err = lp.SolveColGen(b.model, b, opts)
+	} else {
+		sol, err = b.model.Solve(opts)
+	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: solving Postcard LP: %w", err)
 	}
@@ -235,6 +286,12 @@ func (b *builder) solve(opts *lp.Options) (*Result, *lp.Solution, error) {
 		SolveDim:        sol.SolveDim,
 		DevexResets:     sol.DevexResets,
 		DualRecomputes:  sol.DualRecomputes,
+		VarUniverse:     b.varUniverse,
+		PrunedVars:      b.prunedVars,
+		PrunedRows:      b.prunedRows,
+		ColGenRounds:    sol.ColGenRounds,
+		ColGenColumns:   sol.ColGenColumns,
+		ColGenUniverse:  sol.ColGenUniverse,
 	}
 	if sol.Status != lp.Optimal {
 		return res, sol, nil
@@ -277,6 +334,18 @@ const (
 	kindCons                   // conservation row of one (file, dc, layer)
 )
 
+// varDelayed marks a (file, edge) pair that belongs to the pruned variable
+// universe but has not been materialized into the restricted master yet;
+// column generation turns it into a real variable if it ever prices out
+// attractive. Distinct from -1 ("not in the universe at all").
+const varDelayed lp.VarID = -2
+
+// delayedCol addresses one uninstantiated column of the universe.
+type delayedCol struct {
+	file int32 // index into builder.files
+	edge int32 // edge index in the time-expanded graph
+}
+
 // builder assembles the Postcard LP.
 type builder struct {
 	tg     *timegraph.Graph
@@ -286,26 +355,92 @@ type builder struct {
 	conf   Config
 
 	model *lp.Model
-	// mvars[k] maps edge index -> variable, -1 when the file cannot use it.
+	// mvars[k] maps edge index -> variable; -1 when the file cannot use the
+	// edge, varDelayed when the column exists in the universe but is not
+	// materialized.
 	mvars [][]lp.VarID
 	// xvars maps link -> epigraph variable for the charged volume.
 	xvars map[netmodel.Link]lp.VarID
 	// colKeys[j] / rowKeys[i] are the structural identities of column j and
-	// row i, recorded in the exact AddVariable/AddConstraint order.
+	// row i, recorded in the exact AddVariable/AddConstraint order
+	// (generated columns append in materialization order).
 	colKeys []modelKey
 	rowKeys []modelKey
+
+	// Row registries for implicit column pricing: capRow/chargeRow map edge
+	// index -> row (-1 when absent); consRow[k] maps (layer-first)*n+dc of
+	// file k's window to its conservation row. Rows are emitted from
+	// universe support, so every delayed column's four rows exist before
+	// the first solve.
+	capRow    []lp.ConID
+	chargeRow []lp.ConID
+	consRow   [][]lp.ConID
+	consFirst []int
+	// delayed lists the uninstantiated universe in deterministic
+	// (file, edge-index) order.
+	delayed []delayedCol
+	// crashEdge marks, per build of one file, the transfer edges of its
+	// crash route (materialized eagerly so the crash basis works on the
+	// restricted master).
+	crashEdge []bool
+	// rowIdx/rowVal are the constraint-assembly scratch; colCons is the
+	// four-row support scratch of Materialize.
+	rowIdx  []lp.VarID
+	rowVal  []float64
+	colCons [4]lp.ConID
+
+	varUniverse int
+	prunedVars  int
+	prunedRows  int
 }
 
-func newBuilder(tg *timegraph.Graph, ledger *netmodel.Ledger, files []netmodel.File, reach []timegraph.Reachability, conf Config) *builder {
-	return &builder{
-		tg:     tg,
-		ledger: ledger,
-		files:  files,
-		reach:  reach,
-		conf:   conf,
-		model:  lp.NewModel(),
-		xvars:  make(map[netmodel.Link]lp.VarID),
+// newBuilder prepares a builder for one LP construction. A non-nil recycle
+// builder donates every backing allocation of its previous build (model
+// rows and columns, variable maps, key and registry slices), so incremental
+// per-slot solvers assemble each slot's LP with almost no garbage; pass nil
+// for a one-shot build.
+func newBuilder(recycle *builder, tg *timegraph.Graph, ledger *netmodel.Ledger, files []netmodel.File, reach []timegraph.Reachability, conf Config) *builder {
+	b := recycle
+	if b == nil {
+		b = &builder{
+			model: lp.NewModel(),
+			xvars: make(map[netmodel.Link]lp.VarID),
+		}
+	} else {
+		b.model.Reset()
+		clear(b.xvars)
+		b.colKeys = b.colKeys[:0]
+		b.rowKeys = b.rowKeys[:0]
+		b.delayed = b.delayed[:0]
 	}
+	b.tg = tg
+	b.ledger = ledger
+	b.files = files
+	b.reach = reach
+	b.conf = conf
+	b.varUniverse, b.prunedVars, b.prunedRows = 0, 0, 0
+	return b
+}
+
+// intSlice returns s resized to n, reusing its backing array when possible.
+func intSlice[T lp.VarID | lp.ConID | int | bool](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// addMVar materializes the column of file k on edge e.
+func (b *builder) addMVar(k int, e timegraph.Edge) lp.VarID {
+	f := b.files[k]
+	obj := 0.0
+	if !e.Storage {
+		obj = b.conf.Epsilon
+	}
+	v := b.model.AddVariable(0, f.Size, obj, "")
+	b.mvars[k][e.Index] = v
+	b.colKeys = append(b.colKeys, modelKey{kind: kindM, file: f.ID, from: e.From, to: e.To, slot: e.Slot})
+	return v
 }
 
 func (b *builder) build() error {
@@ -315,14 +450,21 @@ func (b *builder) build() error {
 	// the volume already charged (the running X_ij(t-1) plus committed
 	// future peaks).
 	nw.Links(func(l netmodel.Link, price, _ float64) {
-		b.xvars[l] = b.model.AddVariable(b.ledger.ChargedVolume(l.From, l.To), pinf,
-			price, fmt.Sprintf("X_%s", l))
+		b.xvars[l] = b.model.AddVariable(b.ledger.ChargedVolume(l.From, l.To), pinf, price, "")
 		b.colKeys = append(b.colKeys, modelKey{kind: kindX, file: -1, from: l.From, to: l.To, slot: -1})
 	})
-	// Per-file transfer/holdover variables over the file's subgraph.
-	b.mvars = make([][]lp.VarID, len(b.files))
+	// Per-file transfer/holdover universe over the file's pruned subgraph.
+	// The restricted master materializes storage arcs and each file's crash
+	// route immediately; remaining transfer columns stay delayed and enter
+	// by column generation (all of them at once under DisableColGen).
+	if cap(b.mvars) < len(b.files) {
+		b.mvars = make([][]lp.VarID, len(b.files))
+	} else {
+		b.mvars = b.mvars[:len(b.files)]
+	}
+	b.crashEdge = intSlice(b.crashEdge, b.tg.NumEdges())
 	for k, f := range b.files {
-		b.mvars[k] = make([]lp.VarID, b.tg.NumEdges())
+		b.mvars[k] = intSlice(b.mvars[k], b.tg.NumEdges())
 		for i := range b.mvars[k] {
 			b.mvars[k][i] = -1
 		}
@@ -330,12 +472,11 @@ func (b *builder) build() error {
 		if !ok {
 			return fmt.Errorf("core: file %d outside graph horizon", f.ID)
 		}
+		b.markCrashRoute(k)
 		r := b.reach[k]
+		errOut := error(nil)
 		b.tg.Edges(func(e timegraph.Edge) {
-			if e.Slot < first || e.Slot > last {
-				return
-			}
-			if !r.Allowed(f, e.From, e.Slot) || !r.Allowed(f, e.To, e.Slot+1) {
+			if errOut != nil || e.Slot < first || e.Slot > last {
 				return
 			}
 			if e.Storage {
@@ -348,14 +489,21 @@ func (b *builder) build() error {
 					return
 				}
 			}
-			obj := 0.0
-			if !e.Storage {
-				obj = b.conf.Epsilon
+			if !r.Allowed(f, e.From, e.Slot) || !r.Allowed(f, e.To, e.Slot+1) {
+				b.prunedVars++
+				return
 			}
-			name := fmt.Sprintf("M_f%d_%d>%d@%d", f.ID, int(e.From), int(e.To), e.Slot)
-			b.mvars[k][e.Index] = b.model.AddVariable(0, f.Size, obj, name)
-			b.colKeys = append(b.colKeys, modelKey{kind: kindM, file: f.ID, from: e.From, to: e.To, slot: e.Slot})
+			b.varUniverse++
+			if b.conf.DisableColGen || e.Storage || b.crashEdge[e.Index] {
+				b.addMVar(k, e)
+				return
+			}
+			b.mvars[k][e.Index] = varDelayed
+			b.delayed = append(b.delayed, delayedCol{file: int32(k), edge: int32(e.Index)})
 		})
+		if errOut != nil {
+			return errOut
+		}
 	}
 	if err := b.addCapacityAndCharge(); err != nil {
 		return err
@@ -363,43 +511,95 @@ func (b *builder) build() error {
 	return b.addConservation()
 }
 
+// markCrashRoute flags, in b.crashEdge, the transfer edges of file k's
+// crash route (BFS shortest-hop path shipped immediately at release). These
+// columns are materialized eagerly so crashBasis can make the route basic
+// on the restricted master; the destination holdovers it also needs are
+// storage arcs, which are always materialized. Unset flags from the
+// previous file are cleared first.
+func (b *builder) markCrashRoute(k int) {
+	for i := range b.crashEdge {
+		b.crashEdge[i] = false
+	}
+	f := b.files[k]
+	path, ok := shortestHopPath(b.tg.Network(), f.Src, f.Dst)
+	if !ok {
+		return
+	}
+	hops := len(path) - 1
+	deadlineLayer := f.Release + f.Deadline
+	if clamp := b.tg.Start() + b.tg.Horizon(); deadlineLayer > clamp {
+		deadlineLayer = clamp
+	}
+	if f.Release+hops > deadlineLayer {
+		return
+	}
+	for i := 0; i < hops; i++ {
+		if e, found := b.tg.EdgeAt(path[i], path[i+1], f.Release+i); found {
+			b.crashEdge[e.Index] = true
+		}
+	}
+}
+
 // addCapacityAndCharge emits constraint (7) (per-edge capacity against the
 // residual ledger) and the epigraph rows linearizing the charged volume:
 // X_ij >= committed(i,j,n) + sum_k M_ijn for every slot n with variables.
+// Rows exist wherever the variable UNIVERSE has support — materialized or
+// delayed — so the restricted master has exactly the full model's rows and
+// generated columns only ever append coefficients to rows already present.
+// Coefficients are of course emitted only for materialized columns.
 func (b *builder) addCapacityAndCharge() error {
-	var idx []lp.VarID
-	var val []float64
+	ne := b.tg.NumEdges()
+	b.capRow = intSlice(b.capRow, ne)
+	b.chargeRow = intSlice(b.chargeRow, ne)
+	for i := 0; i < ne; i++ {
+		b.capRow[i], b.chargeRow[i] = -1, -1
+	}
 	errOut := error(nil)
 	b.tg.Edges(func(e timegraph.Edge) {
 		if errOut != nil || e.Storage {
 			return
 		}
-		idx = idx[:0]
-		val = val[:0]
+		b.rowIdx = b.rowIdx[:0]
+		b.rowVal = b.rowVal[:0]
+		universe := 0
 		for k := range b.files {
-			if v := b.mvars[k][e.Index]; v >= 0 {
-				idx = append(idx, v)
-				val = append(val, 1)
+			v := b.mvars[k][e.Index]
+			if v == -1 {
+				continue
+			}
+			universe++
+			if v >= 0 {
+				b.rowIdx = append(b.rowIdx, v)
+				b.rowVal = append(b.rowVal, 1)
 			}
 		}
-		if len(idx) == 0 {
+		if universe == 0 {
 			return
 		}
 		residual := b.ledger.Residual(e.From, e.To, e.Slot)
-		if _, err := b.model.AddConstraint(lp.LE, residual, idx, val); err != nil {
+		capID, err := b.model.AddConstraint(lp.LE, residual, b.rowIdx, b.rowVal)
+		if err != nil {
 			errOut = err
 			return
 		}
+		// Reserve the full universe support so materialized delayed columns
+		// append into place without reallocating the row.
+		b.model.ReserveRow(capID, universe)
+		b.capRow[e.Index] = capID
 		b.rowKeys = append(b.rowKeys, modelKey{kind: kindCap, file: -1, from: e.From, to: e.To, slot: e.Slot})
 		// Charge row: sum_k M - X <= -committedVolume.
 		committed := b.ledger.VolumeAt(e.From, e.To, e.Slot)
 		x := b.xvars[netmodel.Link{From: e.From, To: e.To}]
-		idx = append(idx, x)
-		val = append(val, -1)
-		if _, err := b.model.AddConstraint(lp.LE, -committed, idx, val); err != nil {
+		b.rowIdx = append(b.rowIdx, x)
+		b.rowVal = append(b.rowVal, -1)
+		chargeID, err := b.model.AddConstraint(lp.LE, -committed, b.rowIdx, b.rowVal)
+		if err != nil {
 			errOut = err
 			return
 		}
+		b.model.ReserveRow(chargeID, universe+1)
+		b.chargeRow[e.Index] = chargeID
 		b.rowKeys = append(b.rowKeys, modelKey{kind: kindCharge, file: -1, from: e.From, to: e.To, slot: e.Slot})
 	})
 	return errOut
@@ -408,10 +608,20 @@ func (b *builder) addCapacityAndCharge() error {
 // addConservation emits constraints (8): per file, flow out of the source
 // at its release layer equals the size, flow into the destination at the
 // deadline layer equals the size, and inflow equals outflow at every other
-// (datacenter, layer) of the file's subgraph.
+// (datacenter, layer) of the file's subgraph. Like the edge rows, a
+// conservation row exists wherever the variable universe has support, and
+// its handle is recorded in consRow so delayed columns can price against
+// it; (datacenter, layer) pairs reachability disproves are counted in
+// prunedRows instead of emitted.
 func (b *builder) addConservation() error {
 	nw := b.tg.Network()
 	n := nw.NumDCs()
+	if cap(b.consRow) < len(b.files) {
+		b.consRow = make([][]lp.ConID, len(b.files))
+	} else {
+		b.consRow = b.consRow[:len(b.files)]
+	}
+	b.consFirst = intSlice(b.consFirst, len(b.files))
 	for k, f := range b.files {
 		first, last, _ := b.tg.FileWindow(f)
 		r := b.reach[k]
@@ -419,34 +629,47 @@ func (b *builder) addConservation() error {
 		if clamp := b.tg.Start() + b.tg.Horizon(); deadlineLayer > clamp {
 			deadlineLayer = clamp
 		}
+		b.consFirst[k] = first
+		b.consRow[k] = intSlice(b.consRow[k], (deadlineLayer-first+1)*n)
+		for i := range b.consRow[k] {
+			b.consRow[k][i] = -1
+		}
 		for layer := first; layer <= deadlineLayer; layer++ {
 			for dc := 0; dc < n; dc++ {
 				d := netmodel.DC(dc)
 				if !r.Allowed(f, d, layer) {
+					b.prunedRows++
 					continue
 				}
-				var idx []lp.VarID
-				var val []float64
+				b.rowIdx = b.rowIdx[:0]
+				b.rowVal = b.rowVal[:0]
+				universe := 0
+				scan := func(e timegraph.Edge, ok bool, coef float64) {
+					if !ok {
+						return
+					}
+					v := b.mvars[k][e.Index]
+					if v == -1 {
+						return
+					}
+					universe++
+					if v >= 0 {
+						b.rowIdx = append(b.rowIdx, v)
+						b.rowVal = append(b.rowVal, coef)
+					}
+				}
 				// Outflow during slot == layer (absent at the final layer).
 				if layer <= last {
 					for to := 0; to < n; to++ {
-						if e, ok := b.tg.EdgeAt(d, netmodel.DC(to), layer); ok {
-							if v := b.mvars[k][e.Index]; v >= 0 {
-								idx = append(idx, v)
-								val = append(val, 1)
-							}
-						}
+						e, ok := b.tg.EdgeAt(d, netmodel.DC(to), layer)
+						scan(e, ok, 1)
 					}
 				}
 				// Inflow during slot == layer-1 (absent at the first layer).
 				if layer > first {
 					for from := 0; from < n; from++ {
-						if e, ok := b.tg.EdgeAt(netmodel.DC(from), d, layer-1); ok {
-							if v := b.mvars[k][e.Index]; v >= 0 {
-								idx = append(idx, v)
-								val = append(val, -1)
-							}
-						}
+						e, ok := b.tg.EdgeAt(netmodel.DC(from), d, layer-1)
+						scan(e, ok, -1)
 					}
 				}
 				rhs := 0.0
@@ -456,22 +679,77 @@ func (b *builder) addConservation() error {
 				case layer == deadlineLayer && d == f.Dst:
 					rhs = -f.Size // all data has arrived
 				}
-				if len(idx) == 0 {
+				if universe == 0 {
 					if rhs != 0 {
 						return fmt.Errorf("core: file %d has no variables to satisfy its %s constraint",
 							f.ID, map[bool]string{true: "source", false: "destination"}[rhs > 0])
 					}
 					continue
 				}
-				if _, err := b.model.AddConstraint(lp.EQ, rhs, idx, val); err != nil {
+				row, err := b.model.AddConstraint(lp.EQ, rhs, b.rowIdx, b.rowVal)
+				if err != nil {
 					return err
 				}
+				b.model.ReserveRow(row, universe)
+				b.consRow[k][(layer-first)*n+dc] = row
 				b.rowKeys = append(b.rowKeys, modelKey{kind: kindCons, file: f.ID, from: d, to: -1, slot: layer})
 			}
 		}
 	}
 	return nil
 }
+
+// Len implements lp.ColumnSource over the delayed transfer columns.
+func (b *builder) Len() int { return len(b.delayed) }
+
+// Price implements lp.ColumnSource: the reduced cost of delayed column c
+// under row duals y. A transfer column M^k_ijn carries objective Epsilon and
+// exactly four row coefficients — +1 in the edge's capacity and charge rows,
+// +1 in the tail conservation row (i, n) and -1 in the head row (j, n+1) —
+// all of which exist by construction (rows are emitted on universe support).
+func (b *builder) Price(c int, y []float64) float64 {
+	d := b.delayed[c]
+	e := b.tg.Edge(int(d.edge))
+	out, in := b.consRows(d)
+	return b.conf.Epsilon -
+		y[b.capRow[e.Index]] - y[b.chargeRow[e.Index]] -
+		y[out] + y[in]
+}
+
+// consRows returns the tail and head conservation rows of delayed column d.
+func (b *builder) consRows(d delayedCol) (out, in lp.ConID) {
+	k := int(d.file)
+	e := b.tg.Edge(int(d.edge))
+	n := b.tg.Network().NumDCs()
+	first := b.consFirst[k]
+	out = b.consRow[k][(e.Slot-first)*n+int(e.From)]
+	in = b.consRow[k][(e.Slot+1-first)*n+int(e.To)]
+	return out, in
+}
+
+// Materialize implements lp.ColumnSource, grafting delayed column c onto the
+// restricted master with its full coefficient support.
+func (b *builder) Materialize(m *lp.Model, c int) (lp.VarID, error) {
+	d := b.delayed[c]
+	k := int(d.file)
+	f := b.files[k]
+	e := b.tg.Edge(int(d.edge))
+	out, in := b.consRows(d)
+	b.colCons[0], b.colCons[1], b.colCons[2], b.colCons[3] =
+		b.capRow[e.Index], b.chargeRow[e.Index], out, in
+	v, err := m.AddColumn(0, f.Size, b.conf.Epsilon, "", b.colCons[:], colCoef[:])
+	if err != nil {
+		return -1, err
+	}
+	b.mvars[k][e.Index] = v
+	b.colKeys = append(b.colKeys, modelKey{kind: kindM, file: f.ID, from: e.From, to: e.To, slot: e.Slot})
+	return v, nil
+}
+
+// colCoef is the coefficient pattern every transfer column shares, parallel
+// to the builder's colCons scratch: capacity +1, charge +1, tail
+// conservation +1, head conservation -1.
+var colCoef = [4]float64{1, 1, 1, -1}
 
 // extractSchedule converts positive variables of the solution into actions.
 // Values at solver-noise scale are dropped; the verifier runs with a

@@ -39,6 +39,18 @@ type SolveStats struct {
 	// restarts and full reduced-cost recomputations.
 	DevexResets    int
 	DualRecomputes int
+	// VarUniverse totals the per-file column universes of the solved models;
+	// PrunedVars and PrunedRows total the variables and conservation rows
+	// deadline-reachability pruning removed before model assembly.
+	VarUniverse int
+	PrunedVars  int
+	PrunedRows  int
+	// ColGenRounds, ColGenColumns and ColGenUniverse total the delayed
+	// column-generation work: restricted-master solves, columns actually
+	// materialized, and the delayed universe priced implicitly.
+	ColGenRounds   int
+	ColGenColumns  int
+	ColGenUniverse int
 }
 
 // Add returns the element-wise sum of two stat snapshots.
@@ -57,6 +69,12 @@ func (s SolveStats) Add(o SolveStats) SolveStats {
 		SolveDim:        s.SolveDim + o.SolveDim,
 		DevexResets:     s.DevexResets + o.DevexResets,
 		DualRecomputes:  s.DualRecomputes + o.DualRecomputes,
+		VarUniverse:     s.VarUniverse + o.VarUniverse,
+		PrunedVars:      s.PrunedVars + o.PrunedVars,
+		PrunedRows:      s.PrunedRows + o.PrunedRows,
+		ColGenRounds:    s.ColGenRounds + o.ColGenRounds,
+		ColGenColumns:   s.ColGenColumns + o.ColGenColumns,
+		ColGenUniverse:  s.ColGenUniverse + o.ColGenUniverse,
 	}
 }
 
@@ -77,6 +95,12 @@ func (s SolveStats) Sub(o SolveStats) SolveStats {
 		SolveDim:        s.SolveDim - o.SolveDim,
 		DevexResets:     s.DevexResets - o.DevexResets,
 		DualRecomputes:  s.DualRecomputes - o.DualRecomputes,
+		VarUniverse:     s.VarUniverse - o.VarUniverse,
+		PrunedVars:      s.PrunedVars - o.PrunedVars,
+		PrunedRows:      s.PrunedRows - o.PrunedRows,
+		ColGenRounds:    s.ColGenRounds - o.ColGenRounds,
+		ColGenColumns:   s.ColGenColumns - o.ColGenColumns,
+		ColGenUniverse:  s.ColGenUniverse - o.ColGenUniverse,
 	}
 }
 
@@ -108,6 +132,10 @@ type Solver struct {
 	basis *lp.Basis
 	cols  []modelKey
 	rows  []modelKey
+	// bld is the recycled LP builder: every solve reuses its previous
+	// model's backing allocations, so steady-state iteration assembles each
+	// slot's LP with almost no garbage.
+	bld *builder
 
 	stats SolveStats
 }
@@ -158,10 +186,11 @@ func (s *Solver) Solve(ledger *netmodel.Ledger, files []netmodel.File, t int) (*
 	if err != nil {
 		return nil, err
 	}
-	b, err := prepare(tg, ledger, files, s.conf)
+	b, err := prepare(tg, ledger, files, s.conf, s.bld)
 	if err != nil {
 		return nil, err
 	}
+	s.bld = b
 	opts := lp.Options{}
 	if s.conf.LP != nil {
 		opts = *s.conf.LP
@@ -197,6 +226,12 @@ func (s *Solver) Solve(ledger *netmodel.Ledger, files []netmodel.File, t int) (*
 	s.stats.SolveDim += res.SolveDim
 	s.stats.DevexResets += res.DevexResets
 	s.stats.DualRecomputes += res.DualRecomputes
+	s.stats.VarUniverse += res.VarUniverse
+	s.stats.PrunedVars += res.PrunedVars
+	s.stats.PrunedRows += res.PrunedRows
+	s.stats.ColGenRounds += res.ColGenRounds
+	s.stats.ColGenColumns += res.ColGenColumns
+	s.stats.ColGenUniverse += res.ColGenUniverse
 	if res.WarmStarted {
 		s.stats.WarmSolves++
 	}
@@ -207,8 +242,10 @@ func (s *Solver) Solve(ledger *netmodel.Ledger, files []netmodel.File, t int) (*
 	s.valid = true
 	if sol.Basis != nil {
 		s.basis = sol.Basis
-		s.cols = b.colKeys
-		s.rows = b.rowKeys
+		// Copy the keys: the builder is recycled, so its own slices are
+		// clobbered by the next slot's prepare before mapBasis reads them.
+		s.cols = append(s.cols[:0], b.colKeys...)
+		s.rows = append(s.rows[:0], b.rowKeys...)
 	} else {
 		s.basis = nil
 		s.cols = nil

@@ -1,0 +1,213 @@
+package lp
+
+import "sort"
+
+// ColumnSource prices a universe of delayed columns — variables that belong
+// to the full model but have not been materialized into the restricted
+// master — against the duals of a solved restriction, and grafts selected
+// columns onto the model. Candidates are addressed by a dense index in
+// [0, Len()); the driver guarantees Materialize is called at most once per
+// candidate, in strictly increasing model-column order within a batch, so a
+// deterministic source yields bit-deterministic solves.
+type ColumnSource interface {
+	// Len reports the size of the delayed-column universe. It must not
+	// change over the life of a SolveColGen call.
+	Len() int
+	// Price returns the reduced cost candidate c would have under the row
+	// duals y (indexed by ConID, minimization sign convention:
+	// rc = obj - sum_i coef_i * y[cons_i]). It must not materialize
+	// anything.
+	Price(c int, y []float64) float64
+	// Materialize appends candidate c to the model via Model.AddColumn.
+	Materialize(m *Model, c int) (VarID, error)
+}
+
+// colGenBatch bounds how many violated columns one pricing round may
+// materialize. Batching keeps the restricted master small when the first
+// duals make large swaths of the universe look attractive; the most
+// negative reduced costs enter first.
+const colGenBatch = 512
+
+// SolveColGen solves the full model implied by m plus every column of src
+// by delayed column generation: it solves the restricted master m, prices
+// the uninstantiated universe against the optimal duals, materializes
+// violated columns in batches (extending the warm-start basis with the new
+// columns resting at their lower bound, so re-solves skip phase 1), and
+// repeats until no delayed column prices out attractive. At that point the
+// restricted optimum is optimal for the full model — the duals certify
+// dual feasibility of every column, materialized or not — so the result is
+// exactly what materializing the whole universe up front would produce,
+// built from a fraction of the columns.
+//
+// An infeasible restriction proves nothing about the full model (the
+// missing columns may be what feasibility needs), and an infeasible simplex
+// exposes no duals to price against; the driver falls back to materializing
+// the entire remaining universe and re-solving warm from the phase-1 basis,
+// so infeasibility verdicts are always full-model verdicts. Unbounded and
+// iteration-limited outcomes return as-is (a ray of the restriction is a
+// ray of the full model).
+//
+// The returned Solution aggregates work counters (iterations, basis-solve
+// and pricing telemetry) across all rounds, reports presolve reductions for
+// the final round, and describes the generation itself in ColGenRounds,
+// ColGenColumns and ColGenUniverse.
+func SolveColGen(m *Model, src ColumnSource, opts *Options) (*Solution, error) {
+	universe := src.Len()
+	if universe == 0 {
+		return m.Solve(opts)
+	}
+	priceTol := 1e-7
+	if opts != nil && opts.OptTol > 0 {
+		priceTol = opts.OptTol
+	}
+	cur := Options{}
+	if opts != nil {
+		cur = *opts
+	}
+	// Pricing is only sound against an exact dual certificate of the
+	// restricted master. The presolve postsolve preserves the duality
+	// identity but not exactness: when a singleton row is folded into a
+	// column's bound and that column is later removed as empty, the folded
+	// row's dual is unrecoverable and reported as zero, which makes every
+	// delayed column priced through that row look unattractive and
+	// terminates generation at a suboptimal restriction. The masters are
+	// small — generation itself removes the columns presolve would have —
+	// so rounds always solve the un-presolved model.
+	cur.Presolve = false
+	materialized := make([]bool, universe)
+	remaining := universe
+	var batch []int
+	acc := struct {
+		iterations, phase1, factorized             int
+		sparseSolves, denseSolves, nnz, dim        int
+		devexResets, dualRecomputes                int
+		rounds, added                              int
+		warmStarted                                bool
+	}{}
+	addBatch := func(sol *Solution, cands []int) error {
+		// Ascending candidate order == ascending model-column order, which
+		// keeps the source's column bookkeeping append-only.
+		sort.Ints(cands)
+		for _, c := range cands {
+			if _, err := src.Materialize(m, c); err != nil {
+				return err
+			}
+			materialized[c] = true
+		}
+		remaining -= len(cands)
+		acc.added += len(cands)
+		cur.InitialBasis = extendBasis(sol.Basis, len(cands))
+		return nil
+	}
+	for {
+		sol, err := m.Solve(&cur)
+		if err != nil {
+			return nil, err
+		}
+		acc.rounds++
+		acc.iterations += sol.Iterations
+		acc.phase1 += sol.Phase1Iter
+		acc.factorized += sol.Factorized
+		acc.sparseSolves += sol.SparseSolves
+		acc.denseSolves += sol.DenseSolves
+		acc.nnz += sol.SolveNNZ
+		acc.dim += sol.SolveDim
+		acc.devexResets += sol.DevexResets
+		acc.dualRecomputes += sol.DualRecomputes
+		if acc.rounds == 1 {
+			acc.warmStarted = sol.WarmStarted
+		}
+		done := false
+		switch sol.Status {
+		case Optimal:
+			if remaining == 0 {
+				done = true
+				break
+			}
+			batch = batch[:0]
+			for c := 0; c < universe; c++ {
+				if !materialized[c] && src.Price(c, sol.Dual) < -priceTol {
+					batch = append(batch, c)
+				}
+			}
+			if len(batch) == 0 {
+				done = true
+				break
+			}
+			if len(batch) > colGenBatch {
+				// Keep the most attractive columns; ties break on candidate
+				// index so the cut is deterministic.
+				rc := make(map[int]float64, len(batch))
+				for _, c := range batch {
+					rc[c] = src.Price(c, sol.Dual)
+				}
+				sort.Slice(batch, func(a, b int) bool {
+					ra, rb := rc[batch[a]], rc[batch[b]]
+					if ra != rb {
+						return ra < rb
+					}
+					return batch[a] < batch[b]
+				})
+				batch = batch[:colGenBatch]
+			}
+			if err := addBatch(sol, batch); err != nil {
+				return nil, err
+			}
+		case Infeasible:
+			if remaining == 0 {
+				done = true
+				break
+			}
+			batch = batch[:0]
+			for c := 0; c < universe; c++ {
+				if !materialized[c] {
+					batch = append(batch, c)
+				}
+			}
+			if err := addBatch(sol, batch); err != nil {
+				return nil, err
+			}
+		default:
+			done = true
+		}
+		if done {
+			sol.Iterations = acc.iterations
+			sol.Phase1Iter = acc.phase1
+			sol.Factorized = acc.factorized
+			sol.SparseSolves = acc.sparseSolves
+			sol.DenseSolves = acc.denseSolves
+			sol.SolveNNZ = acc.nnz
+			sol.SolveDim = acc.dim
+			sol.DevexResets = acc.devexResets
+			sol.DualRecomputes = acc.dualRecomputes
+			sol.WarmStarted = acc.warmStarted
+			sol.ColGenRounds = acc.rounds
+			sol.ColGenColumns = acc.added
+			sol.ColGenUniverse = universe
+			return sol, nil
+		}
+	}
+}
+
+// extendBasis grows a basis snapshot by extra structural columns resting at
+// their lower bound. The basic count is unchanged, so a snapshot the simplex
+// accepted for the restriction is accepted for the extension too — and the
+// implied basic point is the restriction's own, which stays primal feasible
+// (the new columns contribute nothing at their bound), so the re-solve
+// resumes from dual pricing instead of re-running phase 1.
+func extendBasis(b *Basis, extra int) *Basis {
+	if b == nil {
+		return nil
+	}
+	out := &Basis{
+		NumVars: b.NumVars + extra,
+		NumRows: b.NumRows,
+		Status:  make([]BasisStatus, 0, len(b.Status)+extra),
+	}
+	out.Status = append(out.Status, b.Status[:b.NumVars]...)
+	for i := 0; i < extra; i++ {
+		out.Status = append(out.Status, BasisAtLower)
+	}
+	out.Status = append(out.Status, b.Status[b.NumVars:]...)
+	return out
+}

@@ -94,10 +94,32 @@ type Model struct {
 	hi       []float64
 	names    []string
 	rows     []row
+
+	// Duplicate-merge scratch for AddConstraint: stamp[j] == epoch marks
+	// variable j as already present in the row under construction, pos[j]
+	// holds its position there. Retained across calls (and across Reset) so
+	// steady-state constraint assembly allocates nothing.
+	stamp []int
+	pos   []int
+	epoch int
 }
 
 // NewModel returns an empty minimization model.
 func NewModel() *Model { return &Model{} }
+
+// Reset empties the model in place, retaining every backing allocation
+// (variable arrays, constraint rows and their coefficient slices, the
+// duplicate-merge scratch) so the next build of a similarly sized model
+// allocates little to nothing. Incremental per-slot solvers use it to
+// recycle one Model across consecutive LP constructions.
+func (m *Model) Reset() {
+	m.maximize = false
+	m.obj = m.obj[:0]
+	m.lo = m.lo[:0]
+	m.hi = m.hi[:0]
+	m.names = m.names[:0]
+	m.rows = m.rows[:0]
+}
 
 // SetMaximize switches the objective direction to maximization.
 func (m *Model) SetMaximize() { m.maximize = true }
@@ -129,7 +151,8 @@ func (m *Model) VarName(v VarID) string {
 
 // AddConstraint adds the linear constraint sum(val[i]*x[idx[i]]) sense rhs.
 // The idx/val slices are copied. Duplicate variable references within one
-// constraint are summed. It returns an error for malformed input.
+// constraint are summed (first-mention order). It returns an error for
+// malformed input.
 func (m *Model) AddConstraint(sense Sense, rhs float64, idx []VarID, val []float64) (ConID, error) {
 	if len(idx) != len(val) {
 		return 0, fmt.Errorf("lp: constraint has %d indices but %d values", len(idx), len(val))
@@ -140,7 +163,6 @@ func (m *Model) AddConstraint(sense Sense, rhs float64, idx []VarID, val []float
 	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
 		return 0, fmt.Errorf("lp: invalid rhs %v", rhs)
 	}
-	merged := make(map[int]float64, len(idx))
 	for i, v := range idx {
 		if int(v) < 0 || int(v) >= len(m.obj) {
 			return 0, fmt.Errorf("lp: constraint references unknown variable %d", int(v))
@@ -148,21 +170,89 @@ func (m *Model) AddConstraint(sense Sense, rhs float64, idx []VarID, val []float
 		if math.IsNaN(val[i]) || math.IsInf(val[i], 0) {
 			return 0, fmt.Errorf("lp: invalid coefficient %v for variable %d", val[i], int(v))
 		}
-		merged[int(v)] += val[i]
 	}
-	r := row{sense: sense, rhs: rhs, idx: make([]int, 0, len(merged)), val: make([]float64, 0, len(merged))}
-	for _, v := range idx { // preserve first-mention order deterministically
+	// Reuse a previously allocated row slot (and its coefficient slices)
+	// when extending within capacity, so a Reset model rebuilds without
+	// per-row allocations.
+	var r *row
+	if len(m.rows) < cap(m.rows) {
+		m.rows = m.rows[:len(m.rows)+1]
+		r = &m.rows[len(m.rows)-1]
+		r.idx = r.idx[:0]
+		r.val = r.val[:0]
+	} else {
+		m.rows = append(m.rows, row{})
+		r = &m.rows[len(m.rows)-1]
+	}
+	r.sense, r.rhs = sense, rhs
+	if len(m.stamp) < len(m.obj) {
+		m.stamp = append(m.stamp, make([]int, len(m.obj)-len(m.stamp))...)
+		m.pos = append(m.pos, make([]int, len(m.obj)-len(m.pos))...)
+	}
+	m.epoch++
+	for i, v := range idx {
 		j := int(v)
-		coef, ok := merged[j]
-		if !ok {
+		if m.stamp[j] == m.epoch {
+			r.val[m.pos[j]] += val[i]
 			continue
 		}
-		delete(merged, j)
+		m.stamp[j] = m.epoch
+		m.pos[j] = len(r.idx)
 		r.idx = append(r.idx, j)
-		r.val = append(r.val, coef)
+		r.val = append(r.val, val[i])
 	}
-	m.rows = append(m.rows, r)
 	return ConID(len(m.rows) - 1), nil
+}
+
+// ReserveRow grows constraint c's coefficient storage to hold at least
+// total entries without reallocating. Column generation appends entries to
+// existing rows one column at a time (AddColumn); a builder that knows the
+// row's full variable-universe support can reserve it up front so the
+// per-column appends never reallocate. The row's current entries are kept.
+func (m *Model) ReserveRow(c ConID, total int) {
+	if int(c) < 0 || int(c) >= len(m.rows) {
+		return
+	}
+	r := &m.rows[c]
+	if cap(r.idx) >= total {
+		return
+	}
+	idx := make([]int, len(r.idx), total)
+	val := make([]float64, len(r.val), total)
+	copy(idx, r.idx)
+	copy(val, r.val)
+	r.idx, r.val = idx, val
+}
+
+// AddColumn appends a variable together with its constraint coefficients:
+// the new column gets bounds [lo, hi], objective coefficient obj, and the
+// entry coef[i] in existing row cons[i]. This is the delayed-column path of
+// column generation — the row set is fixed up front and priced-out columns
+// are grafted onto it between solves. The cons entries must be distinct.
+func (m *Model) AddColumn(lo, hi, obj float64, name string, cons []ConID, coef []float64) (VarID, error) {
+	if len(cons) != len(coef) {
+		return 0, fmt.Errorf("lp: column has %d rows but %d coefficients", len(cons), len(coef))
+	}
+	for i, c := range cons {
+		if int(c) < 0 || int(c) >= len(m.rows) {
+			return 0, fmt.Errorf("lp: column references unknown constraint %d", int(c))
+		}
+		if math.IsNaN(coef[i]) || math.IsInf(coef[i], 0) {
+			return 0, fmt.Errorf("lp: invalid coefficient %v for constraint %d", coef[i], int(c))
+		}
+		for p := 0; p < i; p++ {
+			if cons[p] == c {
+				return 0, fmt.Errorf("lp: column references constraint %d twice", int(c))
+			}
+		}
+	}
+	v := m.AddVariable(lo, hi, obj, name)
+	for i, c := range cons {
+		r := &m.rows[c]
+		r.idx = append(r.idx, int(v))
+		r.val = append(r.val, coef[i])
+	}
+	return v, nil
 }
 
 // Solution is the result of solving a Model.
@@ -213,6 +303,15 @@ type Solution struct {
 	// reduced-cost vector — the periodic honest recompute that bounds the
 	// drift of the incremental per-pivot updates.
 	DualRecomputes int
+
+	// ColGenRounds, ColGenColumns and ColGenUniverse are filled by
+	// SolveColGen: the number of restricted-master solves performed, the
+	// number of delayed columns materialized into the model, and the size of
+	// the delayed-column universe that was priced implicitly. All zero for a
+	// plain Solve.
+	ColGenRounds   int
+	ColGenColumns  int
+	ColGenUniverse int
 }
 
 // Value reports the primal value of v.

@@ -64,7 +64,25 @@ func NewFromTriplets(rows, cols int, entries []Triplet) (*Matrix, error) {
 }
 
 // sortAndDedup sorts row indices within each column and merges duplicates.
+// Columns that are already strictly increasing — the common case when the
+// triplets came from a row-major sweep of deduplicated rows, since the
+// counting scatter in NewFromTriplets is stable — need neither sorting nor
+// merging, so a fully sorted matrix returns after one O(nnz) scan without
+// allocating.
 func (m *Matrix) sortAndDedup() {
+	sorted := true
+scan:
+	for j := 0; j < m.Cols; j++ {
+		for p := m.ColPtr[j] + 1; p < m.ColPtr[j+1]; p++ {
+			if m.RowIdx[p-1] >= m.RowIdx[p] {
+				sorted = false
+				break scan
+			}
+		}
+	}
+	if sorted {
+		return
+	}
 	outPtr := make([]int, m.Cols+1)
 	outIdx := m.RowIdx[:0]
 	outVal := m.Val[:0]

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/interdc/postcard/internal/core"
+	"github.com/interdc/postcard/internal/lp"
+	"github.com/interdc/postcard/internal/netmodel"
+	"github.com/interdc/postcard/internal/workload"
+)
+
+// TestPrunedMatchesFullObjectiveCIScale is the sparse-construction
+// correctness gate: at every slot of CI-scale online runs of Figs 4-7, the
+// default solver — deadline-reachability pruning plus delayed column
+// generation — must report the same LP status and the same optimal
+// objective as the fully materialized, unpruned model of the identical
+// ledger state, up to the Epsilon tie-breaking term. (Both switches are
+// lossless by construction: pruned variables can never carry feasible flow,
+// and generation terminates only when the restricted master's duals price
+// every delayed column unattractive.) The two solvers may commit different
+// vertices of the same optimal face, so the comparison happens on a shared
+// ledger before each commit, with the sparse plan applied. Figs 4 and 6 run
+// all CI-scale runs; the heavier tolerant settings 5 and 7 run one.
+func TestPrunedMatchesFullObjectiveCIScale(t *testing.T) {
+	full := &core.Config{DisableColGen: true, DisablePruning: true}
+	for _, figure := range []int{4, 5, 6, 7} {
+		setting, err := netmodel.SettingByFigure(figure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := CIScale()
+		if figure == 5 || figure == 7 {
+			if testing.Short() {
+				continue
+			}
+			scale.Runs = 1
+		}
+		cfg := FigureConfig{Setting: setting, Scale: scale}
+		for run := 0; run < cfg.Scale.Runs; run++ {
+			trace, err := recordTrace(&cfg, run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seed := cfg.Scale.Seed + int64(run)*7919
+			nw, err := netmodel.Complete(cfg.Scale.DCs, workload.UniformPrices(seed), setting.Capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(cfg.Scale.Slots))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen := trace.Replay()
+			generated := 0
+			for slot := 0; slot < cfg.Scale.Slots; slot++ {
+				remaining := gen.FilesAt(slot)
+				for {
+					dense, err := core.Solve(ledger, remaining, slot, full)
+					if err != nil {
+						t.Fatalf("fig %d run %d slot %d: full model: %v", figure, run, slot, err)
+					}
+					sparse, err := core.Solve(ledger, remaining, slot, nil)
+					if err != nil {
+						t.Fatalf("fig %d run %d slot %d: sparse model: %v", figure, run, slot, err)
+					}
+					if sparse.Status != dense.Status {
+						t.Fatalf("fig %d run %d slot %d: sparse status %v, full %v",
+							figure, run, slot, sparse.Status, dense.Status)
+					}
+					if sparse.VarUniverse+sparse.PrunedVars != dense.VarUniverse {
+						t.Errorf("fig %d run %d slot %d: pruned universe %d + pruned %d != full universe %d",
+							figure, run, slot, sparse.VarUniverse, sparse.PrunedVars, dense.VarUniverse)
+					}
+					generated += sparse.ColGenColumns
+					if dense.Status == lp.Optimal {
+						tol := 1e-3 * (1 + math.Abs(dense.CostPerSlot))
+						if math.Abs(sparse.CostPerSlot-dense.CostPerSlot) > tol {
+							t.Errorf("fig %d run %d slot %d: sparse objective %v, full %v",
+								figure, run, slot, sparse.CostPerSlot, dense.CostPerSlot)
+						}
+						if err := sparse.Schedule.Apply(ledger); err != nil {
+							t.Fatalf("fig %d run %d slot %d: committing sparse plan: %v", figure, run, slot, err)
+						}
+						break
+					}
+					// Infeasible slot: shed exactly as the engine does and
+					// compare the retry too.
+					if len(remaining) == 0 {
+						t.Fatalf("fig %d run %d slot %d: infeasible with no files", figure, run, slot)
+					}
+					shed := shedOrder(remaining)[0]
+					next := remaining[:0:0]
+					for _, f := range remaining {
+						if f.ID != shed.ID {
+							next = append(next, f)
+						}
+					}
+					remaining = next
+				}
+			}
+			if generated == 0 {
+				t.Errorf("fig %d run %d: column generation never materialized a column", figure, run)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/interdc/postcard/internal/core"
 	"github.com/interdc/postcard/internal/netmodel"
 	"github.com/interdc/postcard/internal/stats"
 )
@@ -39,6 +40,16 @@ func goldenResult() *FigureResult {
 				DroppedFiles:  0,
 				DroppedVolume: 0,
 				Elapsed:       1234 * time.Millisecond,
+				Solver: core.SolveStats{
+					Solves: 15, WarmSolves: 12, GraphReuses: 12,
+					Iterations: 4210, Phase1Iter: 380,
+					PresolveCols: 96, PresolveRows: 64,
+					SparseSolves: 900, DenseSolves: 300,
+					SolveNNZ: 2400, SolveDim: 9600,
+					DevexResets: 21, DualRecomputes: 154,
+					VarUniverse: 7200, PrunedVars: 1800, PrunedRows: 450,
+					ColGenRounds: 38, ColGenColumns: 960, ColGenUniverse: 5400,
+				},
 			},
 			{
 				Name: "flow-based",
@@ -87,4 +98,12 @@ func TestFigureTableGolden(t *testing.T) {
 // TestSeriesCSVGolden pins the per-slot cost series CSV byte-for-byte.
 func TestSeriesCSVGolden(t *testing.T) {
 	checkGolden(t, "figure6-series.golden.csv", goldenResult().SeriesCSV())
+}
+
+// TestSolverTableGolden pins the rendered LP-work table byte-for-byte,
+// including the model-sparsity columns (pruned%, cg-rnds, gen%). The
+// flow-based row reports no solver work, so the golden file also pins the
+// skip behavior: only instrumented schedulers appear.
+func TestSolverTableGolden(t *testing.T) {
+	checkGolden(t, "figure6-solver.golden", goldenResult().SolverTable())
 }

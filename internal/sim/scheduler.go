@@ -130,6 +130,12 @@ func (p *Postcard) Schedule(ledger *netmodel.Ledger, files []netmodel.File, slot
 			p.stats.SolveDim += res.SolveDim
 			p.stats.DevexResets += res.DevexResets
 			p.stats.DualRecomputes += res.DualRecomputes
+			p.stats.VarUniverse += res.VarUniverse
+			p.stats.PrunedVars += res.PrunedVars
+			p.stats.PrunedRows += res.PrunedRows
+			p.stats.ColGenRounds += res.ColGenRounds
+			p.stats.ColGenColumns += res.ColGenColumns
+			p.stats.ColGenUniverse += res.ColGenUniverse
 		}
 	}
 	if err != nil {

@@ -210,6 +210,17 @@ func (g *Graph) bfs(d netmodel.DC, reverse bool) []int {
 	return dist
 }
 
+// Permissive returns a Reachability over n datacenters that prunes
+// nothing: every hop distance is zero, so Allowed degenerates to the pure
+// deadline-window check. Equivalence gates and fuzzers use it to build the
+// unpruned model that reachability pruning must match exactly.
+func Permissive(n int) Reachability {
+	return Reachability{
+		FromSrc: make([]int, n),
+		ToDst:   make([]int, n),
+	}
+}
+
 // Allowed reports whether file f may occupy datacenter dc at layer
 // (i.e. hold data there at the beginning of slot layer): the datacenter
 // must be reachable from the source within the elapsed slots and the

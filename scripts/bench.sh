@@ -1,30 +1,50 @@
 #!/usr/bin/env bash
-# bench.sh — run the PR 3 headline benchmarks and write a machine-readable
-# summary to BENCH_PR3.json (override with $1). The three benchmarks are
-# the hyper-sparse simplex engine's acceptance gates:
+# bench.sh — run the headline solver benchmarks and write a machine-readable
+# summary JSON. The benchmark set covers the sparse-construction acceptance
+# gates (PR 5) on top of the PR 3 simplex-engine gates:
 #
 #   BenchmarkFig4          end-to-end figure regeneration (cold solver);
-#                          the postcard-lp-iters and postcard-sparse-hit%
-#                          metrics track pricing quality and the
-#                          hyper-sparse FTRAN/BTRAN hit rate.
+#                          postcard-lp-iters and postcard-sparse-hit% track
+#                          pricing quality and the hyper-sparse FTRAN/BTRAN
+#                          hit rate; postcard-pruned% and postcard-colgen-*
+#                          track the sparse time-expanded model construction.
 #   BenchmarkFig4WarmStart cold vs warm-started incremental solver on
 #                          identical traces; postcard-warm-lp-iters is the
 #                          basis-reuse win.
+#   BenchmarkFig5          delay-tolerant regime (T = 8): the deepest
+#                          time-expanded models, where reachability pruning
+#                          and delayed column generation matter most.
+#   BenchmarkFig7          delay-tolerant under limited capacity; the
+#                          paper's headline Postcard-wins setting.
 #   BenchmarkPostcardSolve one offline 40-file instance; ns/op is the
 #                          single-solve latency gate.
 #
-# Usage:  scripts/bench.sh [output.json]
-# Env:    BENCH_COUNT  benchmark repetitions per entry (default 3)
+# Usage:  scripts/bench.sh [-o output.json]
+# Env:    BENCH_OUT    output path (default BENCH_<yyyymmdd>.json;
+#                      the -o flag wins over the env var)
+#         BENCH_COUNT  benchmark repetitions per entry (default 3)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR3.json}"
+out="${BENCH_OUT:-BENCH_$(date -u +%Y%m%d).json}"
+while getopts 'o:' opt; do
+  case "$opt" in
+    o) out="$OPTARG" ;;
+    *) echo "usage: scripts/bench.sh [-o output.json]" >&2; exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+if [ "$#" -gt 0 ]; then
+  echo "usage: scripts/bench.sh [-o output.json]" >&2
+  exit 2
+fi
+
 count="${BENCH_COUNT:-3}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench '^(BenchmarkFig4|BenchmarkFig4WarmStart|BenchmarkPostcardSolve)$' \
+  -bench '^(BenchmarkFig4|BenchmarkFig4WarmStart|BenchmarkFig5|BenchmarkFig7|BenchmarkPostcardSolve)$' \
   -benchmem -count "$count" . | tee "$raw"
 
 python3 - "$raw" "$out" <<'PYEOF'
