@@ -11,7 +11,9 @@ package postcard_test
 
 import (
 	"runtime"
+	"sort"
 	"testing"
+	"time"
 
 	"github.com/interdc/postcard"
 )
@@ -313,6 +315,85 @@ func BenchmarkAblationStorage(b *testing.B) {
 			b.ReportMetric(cost, "cost/slot")
 		})
 	}
+}
+
+// BenchmarkPoissonAdmission measures the fast tier's allocate-on-arrival
+// latency under a Poisson heavy-arrival workload: 8 DCs at limited
+// capacity (30 GB/slot), lambda ~ 12 files per slot with urgent deadlines
+// (T = 3). Only the Admit calls are timed — batch commits and ledger
+// maintenance happen with the clock stopped — so ns/op is the per-file
+// admission decision cost, and the p50/p99/max metrics are its latency
+// distribution in nanoseconds (the admission tier's design target is
+// p99 < 1 ms, with no LP solve on the hot path).
+func BenchmarkPoissonAdmission(b *testing.B) {
+	const capacity, lambda, slots, maxT = 30.0, 12.0, 16, 3
+	nw, err := postcard.Complete(8, postcard.UniformPrices(9), capacity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := postcard.NewPoissonWorkload(postcard.PoissonWorkloadConfig{
+		Uniform: postcard.UniformWorkloadConfig{
+			NumDCs: 8, MinSizeGB: 10, MaxSizeGB: 100, MaxDeadline: maxT, Seed: 9,
+		},
+		Lambda: lambda,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := postcard.RecordTrace(gen, slots)
+	var latencies []time.Duration
+	admitted, rejected := 0, 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ledger, err := postcard.NewLedger(nw, postcard.MaxCharging(slots))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctrl, err := postcard.NewAdmissionController(ledger, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cursor := trace.Replay()
+		latencies = latencies[:0]
+		admitted, rejected = 0, 0
+		b.StartTimer()
+		for slot := 0; slot < slots; slot++ {
+			for _, f := range cursor.FilesAt(slot) {
+				start := time.Now()
+				dec, err := ctrl.Admit(f, slot)
+				latencies = append(latencies, time.Since(start))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if dec.Admitted {
+					admitted++
+				} else {
+					rejected++
+				}
+			}
+			b.StopTimer()
+			plan, _, err := ctrl.TakePlan()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := plan.Apply(ledger); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	if len(latencies) == 0 {
+		b.Fatal("empty trace")
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	b.ReportMetric(float64(latencies[len(latencies)/2]), "p50-admit-ns")
+	b.ReportMetric(float64(latencies[len(latencies)*99/100]), "p99-admit-ns")
+	b.ReportMetric(float64(latencies[len(latencies)-1]), "max-admit-ns")
+	b.ReportMetric(float64(admitted), "admits")
+	b.ReportMetric(float64(rejected), "rejects")
 }
 
 // BenchmarkMaxBulk benchmarks the Sec. VI bulk-maximization LP.

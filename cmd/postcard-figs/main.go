@@ -38,7 +38,7 @@ func main() {
 func run() error {
 	fig := flag.Int("fig", 0, "figure to regenerate (4-7), 0 = all")
 	scaleName := flag.String("scale", "ci", "experiment scale: ci | paper")
-	schedList := flag.String("schedulers", "postcard,flow-based", "comma-separated scheduler list: postcard, postcard-warm, flow-based, flow-two-phase, flow-greedy, direct, postcard-nostore")
+	schedList := flag.String("schedulers", "postcard,flow-based", "comma-separated scheduler list: postcard, postcard-warm, postcard-fast, postcard-fast-only, flow-based, flow-two-phase, flow-greedy, direct, postcard-nostore")
 	csvDir := flag.String("csv", "", "directory to write per-slot cost series CSVs into")
 	uniformDeadline := flag.Bool("uniform-deadline", false, "draw deadlines from U[1, maxT] instead of fixing them at maxT")
 	runs := flag.Int("runs", 0, "override number of runs")

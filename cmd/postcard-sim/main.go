@@ -44,7 +44,7 @@ func run() error {
 	sizeMin := flag.Float64("size-min", 10, "minimum file size, GB")
 	sizeMax := flag.Float64("size-max", 100, "maximum file size, GB")
 	seed := flag.Int64("seed", 1, "random seed (prices and workload)")
-	schedNames := flag.String("scheduler", "postcard", "comma-separated list: postcard | postcard-warm | postcard-nostore | flow-based | flow-two-phase | flow-greedy | direct")
+	schedNames := flag.String("scheduler", "postcard", "comma-separated list: postcard | postcard-warm | postcard-fast | postcard-fast-only | postcard-nostore | flow-based | flow-two-phase | flow-greedy | direct")
 	workers := flag.Int("workers", runtime.NumCPU(), "schedulers simulated concurrently (each on its own ledger)")
 	csvOut := flag.String("csv", "", "write the per-slot cost series to this CSV file (one column per scheduler)")
 	traceOut := flag.String("trace-out", "", "record the generated workload to this JSON file")
@@ -205,6 +205,12 @@ func run() error {
 				fmt.Printf("lp pricing:       %d devex resets, %d dual recomputes\n",
 					sv.DevexResets, sv.DualRecomputes)
 			}
+		}
+		if sv := rs.Solver; sv.Admits+sv.Rejects > 0 {
+			fmt.Printf("fast admissions:  %d admitted, %d rejected, %d republishes\n",
+				sv.Admits, sv.Rejects, sv.Republishes)
+			fmt.Printf("fast-tier cost:   %.2f committed, %.2f saved by republish\n",
+				sv.FastCost, sv.RepublishDelta)
 		}
 		fmt.Println("\ncost per interval over time:")
 		for t, c := range rs.CostSeries {

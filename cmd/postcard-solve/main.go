@@ -40,7 +40,7 @@ func main() {
 
 func run() error {
 	input := flag.String("input", "", "instance JSON file ('-' for stdin; empty = built-in Fig. 3 example)")
-	scheduler := flag.String("scheduler", "postcard", "postcard | postcard-warm | flow | flow-two-phase | flow-greedy | direct")
+	scheduler := flag.String("scheduler", "postcard", "postcard | postcard-warm | postcard-fast | postcard-fast-only | flow | flow-two-phase | flow-greedy | direct")
 	dotOut := flag.String("dot", "", "write the time-expanded graph in DOT format to this file")
 	jsonOut := flag.Bool("json", false, "emit the plan as JSON instead of text")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -205,6 +205,39 @@ func solve(name string, ledger *postcard.Ledger, files []postcard.File, slot int
 			return nil, 0, 0, nil, err
 		}
 		return res.Schedule, res.CostPerSlot, res.Status, res, nil
+	case "postcard-fast", "postcard-fast-only":
+		// One-shot use of the admission fast tier: admit the files in order
+		// on provisional single-path plans; "postcard-fast" then republishes
+		// the batch through the LP before committing. Any rejection makes
+		// the instance infeasible for the fast tier (it never splits files).
+		ctrl, err := postcard.NewAdmissionController(ledger, nil)
+		if err != nil {
+			return nil, 0, 0, nil, err
+		}
+		for _, f := range files {
+			dec, err := ctrl.Admit(f, slot)
+			if err != nil {
+				return nil, 0, 0, nil, err
+			}
+			if !dec.Admitted {
+				return nil, 0, postcard.StatusInfeasible, nil,
+					fmt.Errorf("fast tier rejected file %d", f.ID)
+			}
+		}
+		if name == "postcard-fast" {
+			if err := ctrl.Republish(slot); err != nil {
+				return nil, 0, 0, nil, err
+			}
+		}
+		plan, _, err := ctrl.TakePlan()
+		if err != nil {
+			return nil, 0, 0, nil, err
+		}
+		trial := ledger.Clone()
+		if err := plan.Apply(trial); err != nil {
+			return nil, 0, 0, nil, err
+		}
+		return plan, trial.CostPerSlot(), postcard.StatusOptimal, nil, nil
 	case "flow":
 		res, err := postcard.FlowSolve(ledger, files, slot, nil)
 		if err != nil {

@@ -1,0 +1,272 @@
+package admission
+
+import (
+	"fmt"
+
+	"github.com/interdc/postcard/internal/core"
+	"github.com/interdc/postcard/internal/lp"
+	"github.com/interdc/postcard/internal/netmodel"
+	"github.com/interdc/postcard/internal/schedule"
+)
+
+// DefaultMaxExpansions bounds the best-first path search per admission.
+// The frontier holds simple-path prefixes, so on the evaluation networks
+// (complete graphs of 8-20 datacenters, deadlines of a few slots) the
+// search drains far below this bound and every rejection is exhaustive.
+const DefaultMaxExpansions = 4096
+
+// Config tunes the admission tier.
+type Config struct {
+	// MaxExpansions bounds the partial paths the per-file search may pop
+	// before giving up (a non-exhaustive rejection). 0 selects
+	// DefaultMaxExpansions.
+	MaxExpansions int
+	// Solver configures the background re-optimizer's core.Solver; nil
+	// selects the optimizer defaults.
+	Solver *core.Config
+}
+
+func (c *Config) withDefaults() Config {
+	out := Config{}
+	if c != nil {
+		out = *c
+	}
+	if out.MaxExpansions <= 0 {
+		out.MaxExpansions = DefaultMaxExpansions
+	}
+	return out
+}
+
+// Stats counts the admission tier's cumulative work. Admits and Rejects
+// count fast-path decisions (a batch re-admitted after the simulation
+// engine sheds a file counts again — they measure decision traffic, not
+// unique files). FastCost totals the provisional cost-per-slot increase of
+// batches actually taken (republished batches contribute their improved LP
+// delta); RepublishDelta totals the cost per slot the re-optimizer shaved
+// off the fast tier's provisional plans.
+type Stats struct {
+	Admits         int
+	Rejects        int
+	Republishes    int
+	FastCost       float64
+	RepublishDelta float64
+}
+
+// Decision is the outcome of one Admit call.
+type Decision struct {
+	// Admitted reports whether a feasible placement was found and reserved.
+	Admitted bool
+	// Plan is the provisional placement; nil when rejected.
+	Plan *Plan
+	// Expansions counts partial paths the search popped.
+	Expansions int
+	// Exhaustive reports whether a rejection covered the entire simple-path
+	// space up to the hop bound (always true for admissions).
+	Exhaustive bool
+}
+
+// Controller is the two-tier admission control point over one ledger: the
+// fast tier answers Admit per arriving file, reserving capacity in a
+// Reservations view (never in the ledger itself); Republish re-solves the
+// admitted batch with the incremental LP solver and atomically swaps the
+// reservations to the improved plan; TakePlan hands the batch's final
+// schedule to the caller for commitment. A Controller is not safe for
+// concurrent use.
+type Controller struct {
+	cfg    Config
+	res    *netmodel.Reservations
+	q100   bool
+	solver *core.Solver
+
+	slot      int // current batch's slot, -1 when no batch is open
+	files     []netmodel.File
+	plan      *schedule.Schedule
+	batchCost float64 // provisional cost/slot delta of the open batch
+
+	stats Stats
+}
+
+// NewController creates an admission controller over the ledger.
+func NewController(ledger *netmodel.Ledger, cfg *Config) (*Controller, error) {
+	if ledger == nil {
+		return nil, fmt.Errorf("admission: nil ledger")
+	}
+	return &Controller{
+		cfg:  cfg.withDefaults(),
+		res:  netmodel.NewReservations(ledger),
+		q100: ledger.Scheme().Q >= 100,
+		slot: -1,
+	}, nil
+}
+
+// Reservations exposes the live reservation view (for inspection; callers
+// must not mutate it).
+func (c *Controller) Reservations() *netmodel.Reservations { return c.res }
+
+// Stats returns the cumulative admission counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// SolverStats returns the background re-optimizer's cumulative LP counters
+// (the zero value when no republish has run yet).
+func (c *Controller) SolverStats() core.SolveStats {
+	if c.solver == nil {
+		return core.SolveStats{}
+	}
+	return c.solver.Stats()
+}
+
+// Pending reports the files admitted into the currently open batch.
+func (c *Controller) Pending() []netmodel.File {
+	return append([]netmodel.File(nil), c.files...)
+}
+
+// Admit answers the fast-path admission decision for one arriving file at
+// slot now: it searches for the cheapest feasible single-path placement
+// under the unreserved capacities (headroom-only under q < 100) and, when
+// one exists, reserves its slot-by-slot capacity and adds the file to the
+// open batch. A rejection reserves nothing and leaves the batch intact.
+// Batches are per slot: the previous slot's batch must have been taken
+// (TakePlan) or rolled back before admitting into a new slot.
+func (c *Controller) Admit(f netmodel.File, now int) (Decision, error) {
+	if err := f.Validate(c.res.Ledger().Network()); err != nil {
+		return Decision{}, err
+	}
+	if f.Release < now {
+		return Decision{}, fmt.Errorf("admission: file %d released at %d, admitted at %d", f.ID, f.Release, now)
+	}
+	if c.slot != now {
+		if len(c.files) > 0 {
+			return Decision{}, fmt.Errorf("admission: batch for slot %d still open at slot %d", c.slot, now)
+		}
+		c.slot = now
+	}
+	plan, expansions, exhaustive := planFile(c.res, f, c.cfg.MaxExpansions, c.q100)
+	if plan == nil {
+		c.stats.Rejects++
+		return Decision{Expansions: expansions, Exhaustive: exhaustive}, nil
+	}
+	if err := c.reserveSchedule(plan.Schedule); err != nil {
+		return Decision{}, fmt.Errorf("admission: reserving plan for file %d: %w", f.ID, err)
+	}
+	c.files = append(c.files, f)
+	if c.plan == nil {
+		c.plan = &schedule.Schedule{}
+	}
+	mergeSchedule(c.plan, plan.Schedule)
+	c.batchCost += plan.ChargeDelta
+	c.stats.Admits++
+	return Decision{Admitted: true, Plan: plan, Expansions: expansions, Exhaustive: true}, nil
+}
+
+// Republish re-solves the open batch with the incremental LP solver and,
+// when the LP improves on the provisional plans, atomically swaps the
+// batch's reservations and schedule to the LP's. The solver prices against
+// the ledger — which never contains reservations — so the whole batch is
+// re-planned from the committed state. The batch's provisional plans prove
+// the LP feasible, so a non-optimal status is defensive: the fast plan is
+// kept and no error is returned.
+func (c *Controller) Republish(now int) error {
+	if len(c.files) == 0 {
+		return nil
+	}
+	if now != c.slot {
+		return fmt.Errorf("admission: republish at slot %d for batch of slot %d", now, c.slot)
+	}
+	if c.solver == nil {
+		c.solver = core.NewSolver(c.cfg.Solver)
+	}
+	res, err := c.solver.Solve(c.res.Ledger(), c.files, now)
+	if err != nil {
+		return fmt.Errorf("admission: republish solve: %w", err)
+	}
+	if res.Status != lp.Optimal {
+		return nil
+	}
+	lpDelta := res.CostPerSlot - c.res.Ledger().CostPerSlot()
+	if err := c.releaseSchedule(c.plan); err != nil {
+		return fmt.Errorf("admission: releasing fast-tier reservations: %w", err)
+	}
+	if err := c.reserveSchedule(res.Schedule); err != nil {
+		return fmt.Errorf("admission: reserving republished plan: %w", err)
+	}
+	c.stats.Republishes++
+	c.stats.RepublishDelta += c.batchCost - lpDelta
+	c.batchCost = lpDelta
+	c.plan = res.Schedule
+	return nil
+}
+
+// TakePlan closes the open batch: reservations are released (the caller is
+// about to commit the schedule to the ledger, which supersedes them) and
+// the batch's schedule and files are returned. The returned schedule is
+// never nil.
+func (c *Controller) TakePlan() (*schedule.Schedule, []netmodel.File, error) {
+	plan, files := c.plan, c.files
+	if plan == nil {
+		plan = &schedule.Schedule{}
+	}
+	if err := c.releaseSchedule(c.plan); err != nil {
+		return nil, nil, fmt.Errorf("admission: closing batch: %w", err)
+	}
+	c.stats.FastCost += c.batchCost
+	c.plan, c.files, c.batchCost = nil, nil, 0
+	return plan, files, nil
+}
+
+// Rollback discards the open batch, releasing all its reservations. The
+// admit/reject counters keep the decisions; the discarded batch contributes
+// nothing to FastCost.
+func (c *Controller) Rollback() error {
+	if err := c.releaseSchedule(c.plan); err != nil {
+		return fmt.Errorf("admission: rollback: %w", err)
+	}
+	c.plan, c.files, c.batchCost = nil, nil, 0
+	return nil
+}
+
+// reserveSchedule reserves every transfer action of s; on failure the
+// already-reserved prefix is released so a failed reserve changes nothing.
+func (c *Controller) reserveSchedule(s *schedule.Schedule) error {
+	if s == nil {
+		return nil
+	}
+	actions := s.Actions()
+	for k, a := range actions {
+		if a.IsHold() {
+			continue
+		}
+		if err := c.res.Reserve(a.From, a.To, a.Slot, a.Amount); err != nil {
+			for _, b := range actions[:k] {
+				if b.IsHold() {
+					continue
+				}
+				_ = c.res.Release(b.From, b.To, b.Slot, b.Amount)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// releaseSchedule releases every transfer action of s.
+func (c *Controller) releaseSchedule(s *schedule.Schedule) error {
+	if s == nil {
+		return nil
+	}
+	for _, a := range s.Actions() {
+		if a.IsHold() {
+			continue
+		}
+		if err := c.res.Release(a.From, a.To, a.Slot, a.Amount); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeSchedule appends every action of src to dst.
+func mergeSchedule(dst, src *schedule.Schedule) {
+	for _, a := range src.Actions() {
+		dst.Add(a)
+	}
+}

@@ -1,0 +1,215 @@
+package admission
+
+import (
+	"testing"
+
+	"github.com/interdc/postcard/internal/netmodel"
+	"github.com/interdc/postcard/internal/schedule"
+	"github.com/interdc/postcard/internal/workload"
+)
+
+// bruteReserved is the checker's own reservation tally, built only from
+// admitted plans' actions — fully independent of the Reservations type
+// under test.
+type bruteReserved map[[3]int]float64
+
+func (br bruteReserved) add(s *schedule.Schedule) {
+	for _, a := range s.Actions() {
+		if a.IsHold() {
+			continue
+		}
+		br[[3]int{int(a.From), int(a.To), a.Slot}] += a.Amount
+	}
+}
+
+// bruteUsable recomputes the fast tier's per-slot allocation cap from the
+// ledger's public surface and the checker's own tally.
+func bruteUsable(ledger *netmodel.Ledger, br bruteReserved, i, j netmodel.DC, slot int, q100 bool) float64 {
+	cap := ledger.Residual(i, j, slot)
+	if !q100 {
+		if h := ledger.PaidHeadroom(i, j, slot); h < cap {
+			cap = h
+		}
+	}
+	cap -= br[[3]int{int(i), int(j), slot}]
+	if cap < 0 {
+		return 0
+	}
+	return cap
+}
+
+// brutePathDelivers greedily pushes the file along one fixed path,
+// earliest-possible forwarding — with free storage this is the maximum
+// deliverable volume on that path.
+func brutePathDelivers(ledger *netmodel.Ledger, br bruteReserved, f netmodel.File, path []netmodel.DC, q100 bool) float64 {
+	hops := len(path) - 1
+	stocks := make([]float64, hops+1)
+	stocks[0] = f.Size
+	for off := 0; off < f.Deadline; off++ {
+		slot := f.Release + off
+		for i := hops - 1; i >= 0; i-- {
+			amt := stocks[i]
+			if u := bruteUsable(ledger, br, path[i], path[i+1], slot, q100); u < amt {
+				amt = u
+			}
+			if amt > 0 {
+				stocks[i] -= amt
+				stocks[i+1] += amt
+			}
+		}
+	}
+	return stocks[hops]
+}
+
+// bruteBestDelivery enumerates every simple path from src to dst up to
+// maxHops hops by DFS and returns the best greedy delivery among them.
+func bruteBestDelivery(ledger *netmodel.Ledger, br bruteReserved, f netmodel.File, q100 bool) float64 {
+	nw := ledger.Network()
+	n := nw.NumDCs()
+	maxHops := f.Deadline
+	if n-1 < maxHops {
+		maxHops = n - 1
+	}
+	best := 0.0
+	inPath := make([]bool, n)
+	var dfs func(path []netmodel.DC)
+	dfs = func(path []netmodel.DC) {
+		last := path[len(path)-1]
+		if last == f.Dst {
+			if d := brutePathDelivers(ledger, br, f, path, q100); d > best {
+				best = d
+			}
+			return
+		}
+		if len(path)-1 >= maxHops {
+			return
+		}
+		for v := 0; v < n; v++ {
+			d := netmodel.DC(v)
+			if inPath[v] || !nw.HasLink(last, d) {
+				continue
+			}
+			inPath[v] = true
+			dfs(append(path, d))
+			inPath[v] = false
+		}
+	}
+	inPath[f.Src] = true
+	dfs([]netmodel.DC{f.Src})
+	return best
+}
+
+// FuzzAdmissionFeasibility fuzzes random arrival sequences on random
+// networks against the brute-force checker: every admitted plan must be
+// independently verifiable and capacity-feasible, and every exhaustive
+// rejection must coincide with the brute-force finding no single-path
+// feasible placement either.
+func FuzzAdmissionFeasibility(f *testing.F) {
+	f.Add(int64(1), []byte{100, 20, 8, 0x12, 0x34, 0x56})
+	f.Add(int64(7), []byte{95, 12, 30, 0xff, 0x01, 0x80, 0x44, 0x20})
+	f.Add(int64(42), []byte{100, 6, 15, 0x00, 0x00, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, seed int64, data []byte) {
+		if len(data) < 3 {
+			t.Skip()
+		}
+		q := 100.0
+		if data[0]%2 == 1 {
+			q = 95
+		}
+		capacity := 5 + float64(data[1]%26)
+		n := 3 + int(data[2]%3)
+		body := data[3:]
+		if len(body) > 24 {
+			body = body[:24]
+		}
+		nw, err := netmodel.Complete(n, workload.UniformPrices(seed), capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ledger, err := netmodel.NewLedger(nw, netmodel.Charging{Q: q, PeriodSlots: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pre-seed ledger traffic from the first bytes so headroom differs
+		// per link and slot.
+		for k, b := range body {
+			i := netmodel.DC(int(b) % n)
+			j := netmodel.DC((int(b)/n + 1 + int(i)) % n)
+			if i == j {
+				continue
+			}
+			if err := ledger.Add(i, j, k%4, float64(b%64)/64*capacity); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ctrl, err := NewController(ledger, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q100 := q >= 100
+		br := make(bruteReserved)
+		slot, id := 0, 1
+		for k := 0; k+2 < len(body); k += 3 {
+			// Advance the slot occasionally, committing the open batch.
+			if body[k]%5 == 0 && id > 1 {
+				plan, _, err := ctrl.TakePlan()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := plan.Apply(ledger); err != nil {
+					t.Fatal(err)
+				}
+				br = make(bruteReserved) // committed traffic now lives in the ledger
+				slot++
+			}
+			src := int(body[k]) % n
+			dst := (src + 1 + int(body[k+1])%(n-1)) % n
+			file := netmodel.File{
+				ID: id, Src: netmodel.DC(src), Dst: netmodel.DC(dst),
+				Size:     1 + float64(body[k+1]%100)/100*1.2*capacity,
+				Deadline: 1 + int(body[k+2]%3),
+				Release:  slot,
+			}
+			id++
+			tol := deliveryTol(file.Size)
+			dec, err := ctrl.Admit(file, slot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec.Admitted {
+				// Admitted => a single-path feasible placement exists under
+				// the independently tracked capacities.
+				if best := bruteBestDelivery(ledger, br, file, q100); best < file.Size-2*tol {
+					t.Fatalf("admitted file %+v but brute force delivers only %v", file, best)
+				}
+				// And the plan itself must stand alone.
+				brBefore := br
+				err := schedule.Verify(dec.Plan.Schedule, nw, []netmodel.File{file}, schedule.VerifyConfig{
+					Residual: func(i, j netmodel.DC, s int) float64 {
+						return bruteUsable(ledger, brBefore, i, j, s, true)
+					},
+				})
+				if err != nil {
+					t.Fatalf("admitted plan for %+v fails verification: %v", file, err)
+				}
+				br.add(dec.Plan.Schedule)
+			} else if dec.Exhaustive {
+				// Exhaustive rejection => no single path can carry the file.
+				if best := bruteBestDelivery(ledger, br, file, q100); best >= file.Size-tol/2 {
+					t.Fatalf("rejected file %+v but brute force delivers %v of %v",
+						file, best, file.Size)
+				}
+			}
+		}
+		plan, _, err := ctrl.TakePlan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.Apply(ledger); err != nil {
+			t.Fatal(err)
+		}
+		if got := ctrl.Reservations().TotalReserved(); got != 0 {
+			t.Fatalf("%v GB still reserved after final commit", got)
+		}
+	})
+}

@@ -1,0 +1,242 @@
+package admission
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/interdc/postcard/internal/netmodel"
+	"github.com/interdc/postcard/internal/schedule"
+)
+
+// randomSparseNetwork builds a connected (ring + chords) network so the
+// fast tier is exercised beyond complete graphs, mirroring the optimizer's
+// property suite in internal/core.
+func randomSparseNetwork(t *testing.T, rng *rand.Rand, n int, capacity float64) *netmodel.Network {
+	t.Helper()
+	nw, err := netmodel.NewNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if err := nw.SetLink(netmodel.DC(i), netmodel.DC(j), 1+9*rng.Float64(), capacity); err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.SetLink(netmodel.DC(j), netmodel.DC(i), 1+9*rng.Float64(), capacity); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < n/2; k++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j || nw.HasLink(netmodel.DC(i), netmodel.DC(j)) {
+			continue
+		}
+		if err := nw.SetLink(netmodel.DC(i), netmodel.DC(j), 1+9*rng.Float64(), capacity); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+// seedLedger records random pre-existing traffic so headroom and residuals
+// are non-trivial.
+func seedLedger(t *testing.T, rng *rand.Rand, ledger *netmodel.Ledger, slots int) {
+	t.Helper()
+	nw := ledger.Network()
+	nw.Links(func(l netmodel.Link, _, capacity float64) {
+		for s := 0; s < slots; s++ {
+			if rng.Float64() < 0.5 {
+				continue
+			}
+			if err := ledger.Add(l.From, l.To, s, rng.Float64()*capacity*0.6); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+// randomFile draws a routable demand for the network.
+func randomFile(rng *rand.Rand, n, id, slot int) netmodel.File {
+	src := rng.Intn(n)
+	dst := (src + 1 + rng.Intn(n-1)) % n
+	return netmodel.File{
+		ID: id, Src: netmodel.DC(src), Dst: netmodel.DC(dst),
+		Size: 2 + 18*rng.Float64(), Deadline: 1 + rng.Intn(4), Release: slot,
+	}
+}
+
+// TestAdmittedPlansFeasible is the fast tier's core safety property: every
+// admitted plan, on its own, is accepted by the independent schedule
+// verifier against the capacities available at decision time (residual
+// minus the batch's earlier reservations), i.e. it is capacity-feasible
+// per slot, conserves traffic, and delivers the whole file inside its
+// deadline window. Batches are committed slot by slot so later slots admit
+// against real ledger state.
+func TestAdmittedPlansFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(3)
+		nw := randomSparseNetwork(t, rng, n, 20+20*rng.Float64())
+		ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seedLedger(t, rng, ledger, 4)
+		ctrl, err := NewController(ledger, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := 1
+		for slot := 0; slot < 4; slot++ {
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				f := randomFile(rng, n, id, slot)
+				id++
+				// Snapshot availability before this file's reservations so
+				// the verifier checks the plan against exactly what the
+				// admission decision was allowed to use.
+				avail := ctrl.Reservations().Clone()
+				dec, err := ctrl.Admit(f, slot)
+				if err != nil {
+					t.Fatalf("trial %d slot %d: %v", trial, slot, err)
+				}
+				if !dec.Admitted {
+					if !dec.Exhaustive {
+						t.Errorf("trial %d: rejection of file %d not exhaustive (%d expansions)",
+							trial, f.ID, dec.Expansions)
+					}
+					continue
+				}
+				err = schedule.Verify(dec.Plan.Schedule, nw, []netmodel.File{f}, schedule.VerifyConfig{
+					Residual: func(i, j netmodel.DC, s int) float64 { return avail.Available(i, j, s) },
+				})
+				if err != nil {
+					t.Errorf("trial %d: admitted plan for file %d fails verification: %v", trial, f.ID, err)
+				}
+				for _, a := range dec.Plan.Schedule.Actions() {
+					if a.Slot < f.Release || a.Slot >= f.Release+f.Deadline {
+						t.Errorf("trial %d: file %d action %v outside deadline window", trial, f.ID, a)
+					}
+				}
+			}
+			plan, _, err := ctrl.TakePlan()
+			if err != nil {
+				t.Fatalf("trial %d slot %d: taking plan: %v", trial, slot, err)
+			}
+			if err := plan.Apply(ledger); err != nil {
+				t.Fatalf("trial %d slot %d: committing: %v", trial, slot, err)
+			}
+			if got := ctrl.Reservations().TotalReserved(); got != 0 {
+				t.Fatalf("trial %d slot %d: %v GB still reserved after TakePlan", trial, slot, got)
+			}
+		}
+	}
+}
+
+// TestAdmissionHeadroomAtLowPercentile pins the q < 100 invariant: the fast
+// tier only fills paid headroom, so committing an admitted batch can never
+// raise the ledger's charge — the cost per slot after Apply equals the cost
+// before, and every admitted plan reports a zero charge delta.
+func TestAdmissionHeadroomAtLowPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(3)
+		nw := randomSparseNetwork(t, rng, n, 25)
+		ledger, err := netmodel.NewLedger(nw, netmodel.Charging{Q: 95, PeriodSlots: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seedLedger(t, rng, ledger, 8)
+		ctrl, err := NewController(ledger, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := 1
+		for slot := 0; slot < 3; slot++ {
+			before := ledger.CostPerSlot()
+			for k := 0; k < 2+rng.Intn(3); k++ {
+				f := randomFile(rng, n, id, slot)
+				id++
+				dec, err := ctrl.Admit(f, slot)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if !dec.Admitted {
+					continue
+				}
+				if dec.Plan.ChargeDelta != 0 {
+					t.Errorf("trial %d: q<100 admission of file %d reports charge delta %v",
+						trial, f.ID, dec.Plan.ChargeDelta)
+				}
+				// Per-action check: nothing exceeds the headroom that was
+				// free when the batch started (reservations included).
+				for _, a := range dec.Plan.Schedule.Actions() {
+					if a.IsHold() {
+						continue
+					}
+					if head := ledger.PaidHeadroom(a.From, a.To, a.Slot); a.Amount > head+1e-9*(1+a.Amount) {
+						t.Errorf("trial %d: action %v exceeds paid headroom %v", trial, a, head)
+					}
+				}
+			}
+			plan, _, err := ctrl.TakePlan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := plan.Apply(ledger); err != nil {
+				t.Fatal(err)
+			}
+			after := ledger.CostPerSlot()
+			if after > before+1e-9*(1+math.Abs(before)) {
+				t.Errorf("trial %d slot %d: committing admitted batch raised charge %v -> %v",
+					trial, slot, before, after)
+			}
+		}
+	}
+}
+
+// TestChargeDeltaExactAt100 pins the fast tier's cost accounting under peak
+// charging: the per-file charge deltas of a batch telescope, so their sum
+// equals the actual increase in ledger cost per slot once the batch is
+// committed.
+func TestChargeDeltaExactAt100(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(3)
+		nw := randomSparseNetwork(t, rng, n, 30)
+		ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seedLedger(t, rng, ledger, 5)
+		ctrl, err := NewController(ledger, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumDelta := 0.0
+		before := ledger.CostPerSlot()
+		for k := 0; k < 4; k++ {
+			f := randomFile(rng, n, k+1, 0)
+			dec, err := ctrl.Admit(f, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec.Admitted {
+				sumDelta += dec.Plan.ChargeDelta
+			}
+		}
+		plan, _, err := ctrl.TakePlan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.Apply(ledger); err != nil {
+			t.Fatal(err)
+		}
+		got := ledger.CostPerSlot() - before
+		if math.Abs(got-sumDelta) > 1e-6*(1+math.Abs(got)) {
+			t.Errorf("trial %d: batch charge deltas sum to %v but ledger cost rose by %v",
+				trial, sumDelta, got)
+		}
+	}
+}

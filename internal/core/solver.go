@@ -51,6 +51,17 @@ type SolveStats struct {
 	ColGenRounds   int
 	ColGenColumns  int
 	ColGenUniverse int
+	// Admits, Rejects and Republishes count the admission fast tier's
+	// allocate-on-arrival decisions and background re-optimizations; they
+	// stay zero for pure LP schedulers. FastCost totals the provisional
+	// cost-per-slot increase of committed fast-tier batches and
+	// RepublishDelta the cost per slot the background re-optimizer shaved
+	// off them (see internal/admission).
+	Admits         int
+	Rejects        int
+	Republishes    int
+	FastCost       float64
+	RepublishDelta float64
 }
 
 // Add returns the element-wise sum of two stat snapshots.
@@ -75,6 +86,11 @@ func (s SolveStats) Add(o SolveStats) SolveStats {
 		ColGenRounds:    s.ColGenRounds + o.ColGenRounds,
 		ColGenColumns:   s.ColGenColumns + o.ColGenColumns,
 		ColGenUniverse:  s.ColGenUniverse + o.ColGenUniverse,
+		Admits:          s.Admits + o.Admits,
+		Rejects:         s.Rejects + o.Rejects,
+		Republishes:     s.Republishes + o.Republishes,
+		FastCost:        s.FastCost + o.FastCost,
+		RepublishDelta:  s.RepublishDelta + o.RepublishDelta,
 	}
 }
 
@@ -101,6 +117,11 @@ func (s SolveStats) Sub(o SolveStats) SolveStats {
 		ColGenRounds:    s.ColGenRounds - o.ColGenRounds,
 		ColGenColumns:   s.ColGenColumns - o.ColGenColumns,
 		ColGenUniverse:  s.ColGenUniverse - o.ColGenUniverse,
+		Admits:          s.Admits - o.Admits,
+		Rejects:         s.Rejects - o.Rejects,
+		Republishes:     s.Republishes - o.Republishes,
+		FastCost:        s.FastCost - o.FastCost,
+		RepublishDelta:  s.RepublishDelta - o.RepublishDelta,
 	}
 }
 

@@ -1,0 +1,166 @@
+package netmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// resTol absorbs float dust when reservations are compared against residual
+// capacity or released back: a release that undershoots its reservation by
+// less than this relative tolerance snaps the remainder to zero instead of
+// leaving unreclaimable slivers behind.
+const resTol = 1e-9
+
+// Reservations is an in-memory reservation view over a Ledger: capacity
+// claimed slot-by-slot on top of the traffic already recorded, without
+// writing anything into the ledger itself. The admission fast tier reserves
+// link-slot capacity here while a batch is provisional, and the background
+// re-optimizer releases over-reservations when it republishes an improved
+// plan; because the ledger never sees reservations, an LP re-solve against
+// the ledger naturally prices the whole batch from scratch.
+//
+// Reservations is not safe for concurrent use.
+type Reservations struct {
+	ledger   *Ledger
+	reserved [][]float64 // [linkIndex][slot], grown on demand
+	maxSlot  int         // highest slot with a live reservation bucket, -1 when none
+}
+
+// NewReservations creates an empty reservation view over the ledger.
+func NewReservations(l *Ledger) *Reservations {
+	n := l.nw.NumDCs()
+	return &Reservations{ledger: l, reserved: make([][]float64, n*n), maxSlot: -1}
+}
+
+// Ledger returns the underlying ledger.
+func (r *Reservations) Ledger() *Ledger { return r.ledger }
+
+// Reserved reports the capacity currently reserved on link i->j at slot.
+func (r *Reservations) Reserved(i, j DC, slot int) float64 {
+	if !r.ledger.nw.HasLink(i, j) {
+		return 0
+	}
+	k := r.ledger.nw.idx(i, j)
+	if slot < 0 || slot >= len(r.reserved[k]) {
+		return 0
+	}
+	return r.reserved[k][slot]
+}
+
+// Extent reports one past the highest slot that has ever held a
+// reservation, or 0 when none has. It only grows: released buckets keep
+// counting, so peak computations over [0, Extent) stay consistent across a
+// reserve/release cycle.
+func (r *Reservations) Extent() int { return r.maxSlot + 1 }
+
+// Available reports the capacity of link i->j at slot that is neither
+// recorded in the ledger nor reserved: Residual minus Reserved, clamped at
+// zero.
+func (r *Reservations) Available(i, j DC, slot int) float64 {
+	a := r.ledger.Residual(i, j, slot) - r.Reserved(i, j, slot)
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// FreeHeadroom reports how much more traffic link i->j could carry at slot
+// without raising its charge, after accounting for capacity already
+// reserved: PaidHeadroom minus Reserved, clamped at zero. Since PaidHeadroom
+// is capped by the residual, FreeHeadroom never exceeds Available.
+func (r *Reservations) FreeHeadroom(i, j DC, slot int) float64 {
+	h := r.ledger.PaidHeadroom(i, j, slot) - r.Reserved(i, j, slot)
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// PlannedVolume reports the link's slot volume as the fast tier sees it:
+// recorded ledger traffic plus live reservations.
+func (r *Reservations) PlannedVolume(i, j DC, slot int) float64 {
+	return r.ledger.VolumeAt(i, j, slot) + r.Reserved(i, j, slot)
+}
+
+// Reserve claims amount GB on link i->j at slot. It fails when the amount
+// is invalid, the link does not exist, or the claim exceeds Available
+// beyond tolerance; a failed Reserve changes nothing.
+func (r *Reservations) Reserve(i, j DC, slot int, amount float64) error {
+	if amount < 0 || math.IsNaN(amount) || math.IsInf(amount, 0) {
+		return fmt.Errorf("netmodel: invalid reservation amount %v on %d->%d", amount, i, j)
+	}
+	if !r.ledger.nw.HasLink(i, j) {
+		return fmt.Errorf("netmodel: reservation on non-existent link %d->%d", i, j)
+	}
+	if slot < 0 {
+		return fmt.Errorf("netmodel: reservation at negative slot %d", slot)
+	}
+	if amount == 0 {
+		return nil
+	}
+	if avail := r.Available(i, j, slot); amount > avail+resTol*(1+amount) {
+		return fmt.Errorf("netmodel: reserving %.6g GB on %d->%d slot %d exceeds available %.6g",
+			amount, i, j, slot, avail)
+	}
+	k := r.ledger.nw.idx(i, j)
+	for len(r.reserved[k]) <= slot {
+		r.reserved[k] = append(r.reserved[k], 0)
+	}
+	r.reserved[k][slot] += amount
+	if slot > r.maxSlot {
+		r.maxSlot = slot
+	}
+	return nil
+}
+
+// Release returns amount GB of reservation on link i->j at slot to the
+// pool. Releasing more than is reserved (beyond tolerance) is an error; a
+// release that leaves less than tolerance behind snaps the bucket to zero,
+// so repeated reserve/release cycles cannot strand float dust as phantom
+// reserved capacity.
+func (r *Reservations) Release(i, j DC, slot int, amount float64) error {
+	if amount < 0 || math.IsNaN(amount) || math.IsInf(amount, 0) {
+		return fmt.Errorf("netmodel: invalid release amount %v on %d->%d", amount, i, j)
+	}
+	if !r.ledger.nw.HasLink(i, j) {
+		return fmt.Errorf("netmodel: release on non-existent link %d->%d", i, j)
+	}
+	if amount == 0 {
+		return nil
+	}
+	have := r.Reserved(i, j, slot)
+	if amount > have+resTol*(1+amount) {
+		return fmt.Errorf("netmodel: releasing %.6g GB on %d->%d slot %d but only %.6g reserved",
+			amount, i, j, slot, have)
+	}
+	k := r.ledger.nw.idx(i, j)
+	rest := have - amount
+	if rest < resTol*(1+have) {
+		rest = 0
+	}
+	r.reserved[k][slot] = rest
+	return nil
+}
+
+// TotalReserved reports the sum of all live reservations in GB.
+func (r *Reservations) TotalReserved() float64 {
+	total := 0.0
+	for _, vs := range r.reserved {
+		for _, v := range vs {
+			total += v
+		}
+	}
+	return total
+}
+
+// Clone returns a deep copy sharing the same underlying ledger.
+func (r *Reservations) Clone() *Reservations {
+	cp := &Reservations{ledger: r.ledger, reserved: make([][]float64, len(r.reserved)), maxSlot: r.maxSlot}
+	for k, vs := range r.reserved {
+		if len(vs) == 0 {
+			continue
+		}
+		cp.reserved[k] = append([]float64(nil), vs...)
+	}
+	return cp
+}

@@ -1,0 +1,173 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func reservationFixture(t *testing.T) (*Ledger, *Reservations) {
+	t.Helper()
+	nw, err := NewNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []struct{ from, to DC }{{0, 1}, {1, 2}, {0, 2}} {
+		if err := nw.SetLink(l.from, l.to, 2, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ledger, err := NewLedger(nw, MaxCharging(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ledger, NewReservations(ledger)
+}
+
+// TestReservationAccounting pins the basic arithmetic: Available tracks
+// Residual minus Reserved, Reserve refuses over-commitment, and Release
+// refuses giving back more than is held.
+func TestReservationAccounting(t *testing.T) {
+	ledger, res := reservationFixture(t)
+	if err := ledger.Add(0, 1, 2, 20); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Available(0, 1, 2); got != 30 {
+		t.Fatalf("Available = %v, want 30", got)
+	}
+	if err := res.Reserve(0, 1, 2, 25); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Available(0, 1, 2); got != 5 {
+		t.Fatalf("Available after reserve = %v, want 5", got)
+	}
+	if got := res.Reserved(0, 1, 2); got != 25 {
+		t.Fatalf("Reserved = %v, want 25", got)
+	}
+	if err := res.Reserve(0, 1, 2, 6); err == nil {
+		t.Fatal("over-reservation accepted")
+	}
+	if err := res.Release(0, 1, 2, 26); err == nil {
+		t.Fatal("over-release accepted")
+	}
+	if err := res.Release(0, 1, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Reserved(0, 1, 2); got != 15 {
+		t.Fatalf("Reserved after partial release = %v, want 15", got)
+	}
+	if err := res.Reserve(0, 2, 0, -1); err == nil {
+		t.Fatal("negative reservation accepted")
+	}
+	if err := res.Reserve(1, 0, 0, 1); err == nil {
+		t.Fatal("reservation on non-existent link accepted")
+	}
+}
+
+// TestReservationReleaseSnapsDust is the satellite fix test: a republish
+// that shrinks a file's reservation mid-horizon releases it in many small
+// action-sized pieces, and the float dust left by the subtraction chain
+// must snap to exactly zero instead of lingering as phantom reserved
+// capacity that blocks future admissions.
+func TestReservationReleaseSnapsDust(t *testing.T) {
+	_, res := reservationFixture(t)
+	parts := []float64{10.1, 7.3, 2.6, 13.7, 16.3}
+	total := 0.0
+	for _, p := range parts {
+		if err := res.Reserve(0, 1, 0, p); err != nil {
+			t.Fatal(err)
+		}
+		total += p
+	}
+	// Release in a different decomposition, as a republished plan would.
+	for i := 0; i < 10; i++ {
+		if err := res.Release(0, 1, 0, total/10); err != nil {
+			t.Fatalf("release piece %d: %v", i, err)
+		}
+	}
+	if got := res.Reserved(0, 1, 0); got != 0 {
+		t.Fatalf("Reserved after full release = %g, want exactly 0", got)
+	}
+	// The full capacity must be reservable again.
+	if err := res.Reserve(0, 1, 0, 50); err != nil {
+		t.Fatalf("full capacity not reservable after release cycle: %v", err)
+	}
+}
+
+// TestReservationBeyondNominalPeriod covers the ledger-extension
+// interaction (the off-by-one-prone path per PR 2): reservations at slots
+// beyond the nominal charging period must account correctly without
+// extending the ledger's effective period — reservations are provisional
+// and never metered.
+func TestReservationBeyondNominalPeriod(t *testing.T) {
+	ledger, res := reservationFixture(t)
+	if got := ledger.EffectivePeriodSlots(); got != 8 {
+		t.Fatalf("EffectivePeriodSlots = %d, want 8", got)
+	}
+	if err := res.Reserve(0, 1, 11, 40); err != nil {
+		t.Fatal(err)
+	}
+	if got := ledger.EffectivePeriodSlots(); got != 8 {
+		t.Errorf("reservation extended the charging period to %d slots", got)
+	}
+	if got := res.Extent(); got != 12 {
+		t.Errorf("Extent = %d, want 12", got)
+	}
+	if got := res.Available(0, 1, 11); got != 10 {
+		t.Errorf("Available beyond period = %v, want 10", got)
+	}
+	if err := res.Release(0, 1, 11, 40); err != nil {
+		t.Fatal(err)
+	}
+	// Extent only grows, so peak computations stay comparable across the
+	// reserve/release cycle.
+	if got := res.Extent(); got != 12 {
+		t.Errorf("Extent shrank to %d after release", got)
+	}
+}
+
+// TestFreeHeadroomTracksReservations checks the q<100-relevant surface:
+// FreeHeadroom is PaidHeadroom net of reservations, clamped at zero, and
+// never exceeds Available.
+func TestFreeHeadroomTracksReservations(t *testing.T) {
+	ledger, res := reservationFixture(t)
+	// Build headroom: slot 0 carries 30, so X = 30 and slot 1 has 30 free.
+	if err := ledger.Add(0, 1, 0, 30); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.FreeHeadroom(0, 1, 1); got != 30 {
+		t.Fatalf("FreeHeadroom = %v, want 30", got)
+	}
+	if err := res.Reserve(0, 1, 1, 12); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.FreeHeadroom(0, 1, 1); got != 18 {
+		t.Fatalf("FreeHeadroom after reserve = %v, want 18", got)
+	}
+	if err := res.Reserve(0, 1, 1, 25); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.FreeHeadroom(0, 1, 1); got != 0 {
+		t.Fatalf("FreeHeadroom over-reserved = %v, want 0 (clamped)", got)
+	}
+	if av, fh := res.Available(0, 1, 1), res.FreeHeadroom(0, 1, 1); fh > av {
+		t.Fatalf("FreeHeadroom %v exceeds Available %v", fh, av)
+	}
+}
+
+// TestReservationClone checks deep-copy independence.
+func TestReservationClone(t *testing.T) {
+	_, res := reservationFixture(t)
+	if err := res.Reserve(0, 1, 3, 10); err != nil {
+		t.Fatal(err)
+	}
+	cp := res.Clone()
+	if err := cp.Reserve(0, 1, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Reserved(0, 1, 3); got != 10 {
+		t.Errorf("original mutated through clone: %v", got)
+	}
+	if got := cp.Reserved(0, 1, 3); math.Abs(got-15) > 1e-12 {
+		t.Errorf("clone Reserved = %v, want 15", got)
+	}
+}

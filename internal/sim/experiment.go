@@ -369,15 +369,17 @@ func (r *FigureResult) Table() string {
 // restricting anything). It returns the empty string when no scheduler
 // reported solver work, so plain (cold) runs render exactly as before.
 func (r *FigureResult) SolverTable() string {
-	any := false
+	anyLP, anyAdm := false, false
 	for _, s := range r.Schedulers {
 		if s.Solver.Solves > 0 {
-			any = true
-			break
+			anyLP = true
+		}
+		if s.Solver.Admits+s.Solver.Rejects > 0 {
+			anyAdm = true
 		}
 	}
-	if !any {
-		return ""
+	if !anyLP {
+		return r.admissionTable(anyAdm)
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "LP solver work (fig %d):\n", r.Setting.Figure)
@@ -408,6 +410,31 @@ func (r *FigureResult) SolverTable() string {
 			st.Iterations, st.Phase1Iter, st.PresolveCols, st.PresolveRows,
 			hit, density, st.DevexResets, st.DualRecomputes,
 			pruned, st.ColGenRounds, gen)
+	}
+	return b.String() + r.admissionTable(anyAdm)
+}
+
+// admissionTable renders the admission fast-tier counters for every
+// scheduler that made fast-path decisions (Admits + Rejects > 0), one row
+// per scheduler: decisions, background republishes, the provisional
+// cost-per-slot the fast tier committed, and the cost the re-optimizer
+// shaved off it. It returns the empty string when no scheduler made
+// fast-path decisions, so pure LP runs render exactly as before.
+func (r *FigureResult) admissionTable(anyAdm bool) string {
+	if !anyAdm {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "admission fast tier (fig %d):\n", r.Setting.Figure)
+	fmt.Fprintf(&b, "%-18s %8s %8s %10s %12s %12s\n",
+		"scheduler", "admits", "rejects", "republish", "fast-cost", "repub-save")
+	for _, s := range r.Schedulers {
+		st := s.Solver
+		if st.Admits+st.Rejects == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-18s %8d %8d %10d %12.2f %12.2f\n",
+			s.Name, st.Admits, st.Rejects, st.Republishes, st.FastCost, st.RepublishDelta)
 	}
 	return b.String()
 }

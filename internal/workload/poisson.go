@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/interdc/postcard/internal/netmodel"
+)
+
+// PoissonConfig parameterizes a heavy-arrival workload: the number of
+// files released per slot is Poisson-distributed with rate Lambda, while
+// sizes, endpoints, and deadlines follow the same uniform marginals as the
+// paper's evaluation workload. This is the arrival model used for the
+// admission-latency benchmark, where the interesting quantity is the tail
+// of per-slot batch sizes rather than their mean.
+type PoissonConfig struct {
+	Uniform UniformConfig // file-shape marginals; MinFiles/MaxFiles ignored
+	Lambda  float64       // expected files per slot
+}
+
+// Poisson is a Poisson-arrival workload generator.
+type Poisson struct {
+	cfg PoissonConfig
+	uni *Uniform
+	rng *rand.Rand
+}
+
+// NewPoisson creates a Poisson generator. The count stream and the
+// file-shape stream are drawn from the same seeded source, so a (seed,
+// lambda) pair fully determines the trace.
+func NewPoisson(cfg PoissonConfig) (*Poisson, error) {
+	if cfg.Lambda <= 0 || math.IsInf(cfg.Lambda, 0) || math.IsNaN(cfg.Lambda) {
+		return nil, fmt.Errorf("workload: poisson lambda %g must be positive and finite", cfg.Lambda)
+	}
+	shape := cfg.Uniform
+	shape.MinFiles, shape.MaxFiles = 0, 0 // counts come from the Poisson draw
+	uni, err := NewUniform(shape)
+	if err != nil {
+		return nil, err
+	}
+	return &Poisson{cfg: cfg, uni: uni, rng: uni.rng}, nil
+}
+
+// FilesAt draws a Poisson-distributed number of files for slot.
+func (p *Poisson) FilesAt(slot int) []netmodel.File {
+	count := poissonDraw(p.rng, p.cfg.Lambda)
+	files := make([]netmodel.File, 0, count)
+	for k := 0; k < count; k++ {
+		files = append(files, p.uni.draw(slot))
+	}
+	return files
+}
+
+// poissonDraw samples Poisson(lambda) by Knuth's product-of-uniforms
+// method, splitting large lambda into chunks so the running product
+// exp(-lambda) stays away from underflow. Expected draws are O(lambda),
+// which is fine for the per-slot rates the benchmark uses.
+func poissonDraw(rng *rand.Rand, lambda float64) int {
+	count := 0
+	for lambda > 0 {
+		step := lambda
+		if step > 500 {
+			step = 500
+		}
+		limit := math.Exp(-step)
+		prod := rng.Float64()
+		for prod > limit {
+			count++
+			prod *= rng.Float64()
+		}
+		lambda -= step
+	}
+	return count
+}

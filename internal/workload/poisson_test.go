@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func poissonConfig(lambda float64, seed int64) PoissonConfig {
+	return PoissonConfig{
+		Uniform: UniformConfig{
+			NumDCs: 8, MinFiles: 1, MaxFiles: 1,
+			MinSizeGB: 10, MaxSizeGB: 100, MaxDeadline: 3, Seed: seed,
+		},
+		Lambda: lambda,
+	}
+}
+
+// TestPoissonDeterministic checks that a (seed, lambda) pair fully
+// determines the trace — the property the benchmark and the simulator rely
+// on to replay identical arrival sequences.
+func TestPoissonDeterministic(t *testing.T) {
+	a, err := NewPoisson(poissonConfig(6, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPoisson(poissonConfig(6, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 20; slot++ {
+		fa, fb := a.FilesAt(slot), b.FilesAt(slot)
+		if len(fa) != len(fb) {
+			t.Fatalf("slot %d: counts %d vs %d", slot, len(fa), len(fb))
+		}
+		for k := range fa {
+			if fa[k] != fb[k] {
+				t.Fatalf("slot %d file %d: %+v vs %+v", slot, k, fa[k], fb[k])
+			}
+		}
+	}
+}
+
+// TestPoissonArrivalRate checks the empirical mean and the file-shape
+// marginals: counts average near lambda, and each file respects the
+// uniform size/deadline/endpoint ranges.
+func TestPoissonArrivalRate(t *testing.T) {
+	const lambda, slots = 12.0, 2000
+	gen, err := NewPoisson(poissonConfig(lambda, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for slot := 0; slot < slots; slot++ {
+		files := gen.FilesAt(slot)
+		total += len(files)
+		for _, f := range files {
+			if f.Release != slot {
+				t.Fatalf("file %+v released at wrong slot (want %d)", f, slot)
+			}
+			if f.Size < 10 || f.Size > 100 {
+				t.Fatalf("file size %v outside [10, 100]", f.Size)
+			}
+			if f.Deadline < 1 || f.Deadline > 3 {
+				t.Fatalf("deadline %d outside [1, 3]", f.Deadline)
+			}
+			if f.Src == f.Dst || int(f.Src) >= 8 || int(f.Dst) >= 8 {
+				t.Fatalf("bad endpoints in %+v", f)
+			}
+		}
+	}
+	mean := float64(total) / slots
+	// Std error of the mean is sqrt(lambda/slots) ~ 0.077; allow 5 sigma.
+	if math.Abs(mean-lambda) > 5*math.Sqrt(lambda/slots) {
+		t.Errorf("empirical arrival rate %v, want ~%v", mean, lambda)
+	}
+}
+
+// TestPoissonDrawLargeLambda exercises the chunked Knuth sampler beyond
+// the exp(-lambda) underflow point: the draw must stay near lambda instead
+// of degenerating to zero or looping forever.
+func TestPoissonDrawLargeLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const lambda, trials = 1800.0, 50
+	sum := 0
+	for i := 0; i < trials; i++ {
+		sum += poissonDraw(rng, lambda)
+	}
+	mean := float64(sum) / trials
+	if math.Abs(mean-lambda) > 5*math.Sqrt(lambda/trials) {
+		t.Errorf("large-lambda draw mean %v, want ~%v", mean, lambda)
+	}
+}
+
+// TestPoissonValidation checks config rejection.
+func TestPoissonValidation(t *testing.T) {
+	for _, lambda := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := NewPoisson(poissonConfig(lambda, 1)); err == nil {
+			t.Errorf("lambda %v accepted", lambda)
+		}
+	}
+	bad := poissonConfig(5, 1)
+	bad.Uniform.NumDCs = 1
+	if _, err := NewPoisson(bad); err == nil {
+		t.Error("1-DC workload accepted")
+	}
+}

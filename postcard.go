@@ -33,6 +33,7 @@ import (
 	"io"
 	"strings"
 
+	"github.com/interdc/postcard/internal/admission"
 	"github.com/interdc/postcard/internal/core"
 	"github.com/interdc/postcard/internal/extensions"
 	"github.com/interdc/postcard/internal/flowbased"
@@ -148,6 +149,32 @@ type (
 	// cumulative LP solver work (e.g. the warm-started Postcard adapter);
 	// RunStats.Solver and SchedulerSummary.Solver aggregate it.
 	SolverStatsReporter = sim.SolverStatsReporter
+	// FastScheduler is the two-tier admission scheduler: an allocate-on-
+	// arrival fast path admits files without an LP solve, and a background
+	// re-optimizer republishes improved schedules between slots.
+	FastScheduler = sim.Fast
+)
+
+// Admission fast-tier types.
+type (
+	// AdmissionConfig parameterizes the admission controller (search
+	// budget and background-solver settings).
+	AdmissionConfig = admission.Config
+	// AdmissionController is the allocate-on-arrival tier: admit/reject
+	// decisions with provisional single-path schedules, plus the republish
+	// protocol that swaps them for LP-optimal plans.
+	AdmissionController = admission.Controller
+	// AdmissionDecision is the outcome of one Admit call.
+	AdmissionDecision = admission.Decision
+	// AdmissionStats counts admission decisions and fast-tier costs.
+	AdmissionStats = admission.Stats
+	// AdmissionPlan is a provisional single-path schedule with its exact
+	// marginal charge.
+	AdmissionPlan = admission.Plan
+	// Reservations is the in-memory reservation ledger the fast tier
+	// allocates from: per-link per-slot capacity holds layered over a
+	// charging Ledger, never metered until committed.
+	Reservations = netmodel.Reservations
 )
 
 // Workload types.
@@ -160,6 +187,10 @@ type (
 	UniformWorkloadConfig = workload.UniformConfig
 	// DiurnalWorkloadConfig parameterizes the diurnal generator.
 	DiurnalWorkloadConfig = workload.DiurnalConfig
+	// PoissonWorkload is the heavy-arrival Poisson workload generator.
+	PoissonWorkload = workload.Poisson
+	// PoissonWorkloadConfig parameterizes PoissonWorkload.
+	PoissonWorkloadConfig = workload.PoissonConfig
 	// Trace is a recorded, replayable workload.
 	Trace = workload.Trace
 	// TraceCursor is a per-goroutine linear-time replay cursor over a
@@ -202,11 +233,13 @@ const (
 
 // SchedulerNames lists the scheduler names understood by SchedulerByName.
 func SchedulerNames() []string {
-	return []string{"postcard", "postcard-warm", "postcard-nostore", "flow-based", "flow-two-phase", "flow-greedy", "direct"}
+	return []string{"postcard", "postcard-warm", "postcard-fast", "postcard-fast-only", "postcard-nostore", "flow-based", "flow-two-phase", "flow-greedy", "direct"}
 }
 
 // SchedulerByName builds a Scheduler from its command-line name:
 // "postcard", "postcard-warm" (the incremental warm-started solver),
+// "postcard-fast" (allocate-on-arrival admission with background LP
+// republish), "postcard-fast-only" (the pure fast path, no republish),
 // "postcard-nostore" (intermediate storage disabled),
 // "flow-based", "flow-two-phase", "flow-greedy", or "direct".
 func SchedulerByName(name string) (Scheduler, error) {
@@ -215,6 +248,10 @@ func SchedulerByName(name string) (Scheduler, error) {
 		return &PostcardScheduler{}, nil
 	case "postcard-warm":
 		return &PostcardScheduler{WarmStart: true}, nil
+	case "postcard-fast":
+		return &FastScheduler{}, nil
+	case "postcard-fast-only":
+		return &FastScheduler{NoRepublish: true}, nil
 	case "postcard-nostore":
 		return &PostcardScheduler{
 			Label:  "postcard-nostore",
@@ -342,6 +379,22 @@ func SettingByFigure(fig int) (EvalSetting, error) { return netmodel.SettingByFi
 // NewUniformWorkload creates the paper's uniform workload generator.
 func NewUniformWorkload(cfg UniformWorkloadConfig) (*UniformWorkload, error) {
 	return workload.NewUniform(cfg)
+}
+
+// NewPoissonWorkload creates a Poisson heavy-arrival workload generator.
+func NewPoissonWorkload(cfg PoissonWorkloadConfig) (*PoissonWorkload, error) {
+	return workload.NewPoisson(cfg)
+}
+
+// NewAdmissionController creates an allocate-on-arrival admission tier
+// over the ledger. A nil config uses defaults.
+func NewAdmissionController(ledger *Ledger, cfg *AdmissionConfig) (*AdmissionController, error) {
+	return admission.NewController(ledger, cfg)
+}
+
+// NewReservations creates an empty reservation view over the ledger.
+func NewReservations(ledger *Ledger) *Reservations {
+	return netmodel.NewReservations(ledger)
 }
 
 // NewDiurnalWorkload creates a day/night-modulated workload generator.

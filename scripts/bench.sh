@@ -18,6 +18,12 @@
 #                          paper's headline Postcard-wins setting.
 #   BenchmarkPostcardSolve one offline 40-file instance; ns/op is the
 #                          single-solve latency gate.
+#   BenchmarkPoissonAdmission
+#                          allocate-on-arrival fast tier under Poisson
+#                          heavy arrivals (PR 6); p99-admit-ns is the
+#                          admission-latency gate (target < 1e6, i.e.
+#                          p99 under one millisecond, no LP on the hot
+#                          path).
 #
 # Usage:  scripts/bench.sh [-o output.json]
 # Env:    BENCH_OUT    output path (default BENCH_<yyyymmdd>.json;
@@ -44,7 +50,7 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench '^(BenchmarkFig4|BenchmarkFig4WarmStart|BenchmarkFig5|BenchmarkFig7|BenchmarkPostcardSolve)$' \
+  -bench '^(BenchmarkFig4|BenchmarkFig4WarmStart|BenchmarkFig5|BenchmarkFig7|BenchmarkPostcardSolve|BenchmarkPoissonAdmission)$' \
   -benchmem -count "$count" . | tee "$raw"
 
 python3 - "$raw" "$out" <<'PYEOF'
