@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"github.com/interdc/postcard"
+	"github.com/interdc/postcard/internal/profiling"
 )
 
 func main() {
@@ -35,7 +36,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	fig := flag.Int("fig", 0, "figure to regenerate (4-7), 0 = all")
 	scaleName := flag.String("scale", "ci", "experiment scale: ci | paper")
 	schedList := flag.String("schedulers", "postcard,flow-based", "comma-separated scheduler list: postcard, postcard-warm, postcard-fast, postcard-fast-only, flow-based, flow-two-phase, flow-greedy, direct, postcard-nostore")
@@ -47,7 +48,19 @@ func run() error {
 	filesMax := flag.Int("files-max", 0, "override maximum files per slot")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel (run, scheduler) simulation cells; 1 = sequential (output is identical either way)")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	var scale postcard.Scale
 	switch *scaleName {

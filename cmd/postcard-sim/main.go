@@ -20,11 +20,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/pprof"
 	"strings"
 	"sync"
 
 	"github.com/interdc/postcard"
+	"github.com/interdc/postcard/internal/profiling"
 )
 
 func main() {
@@ -34,7 +34,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	dcs := flag.Int("dcs", 8, "number of datacenters (complete graph)")
 	slots := flag.Int("slots", 20, "number of time slots to simulate")
 	capacity := flag.Float64("capacity", 30, "per-link capacity in GB/slot")
@@ -48,6 +48,7 @@ func run() error {
 	workers := flag.Int("workers", runtime.NumCPU(), "schedulers simulated concurrently (each on its own ledger)")
 	csvOut := flag.String("csv", "", "write the per-slot cost series to this CSV file (one column per scheduler)")
 	traceOut := flag.String("trace-out", "", "record the generated workload to this JSON file")
+	instanceOut := flag.String("instance-out", "", "write the generated network as an instance JSON file (e.g. for postcard-server)")
 	traceIn := flag.String("trace-in", "", "replay a workload recorded with -trace-out")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -56,38 +57,34 @@ func run() error {
 	if *workers < 1 {
 		return fmt.Errorf("-workers must be >= 1, got %d", *workers)
 	}
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			return fmt.Errorf("creating CPU profile: %w", err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return fmt.Errorf("starting CPU profile: %w", err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "postcard-sim: creating heap profile:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // settle the heap so the profile reflects retained memory
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "postcard-sim: writing heap profile:", err)
-			}
-		}()
-	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	nw, err := postcard.Complete(*dcs, postcard.UniformPrices(*seed), *capacity)
 	if err != nil {
 		return err
+	}
+
+	if *instanceOut != "" {
+		f, err := os.Create(*instanceOut)
+		if err != nil {
+			return err
+		}
+		if err := postcard.InstanceOf(nw, nil).WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("instance written to %s\n", *instanceOut)
 	}
 
 	var trace *postcard.Trace

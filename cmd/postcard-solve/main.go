@@ -25,10 +25,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
 	"github.com/interdc/postcard"
+	"github.com/interdc/postcard/internal/profiling"
 )
 
 func main() {
@@ -38,7 +37,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	input := flag.String("input", "", "instance JSON file ('-' for stdin; empty = built-in Fig. 3 example)")
 	scheduler := flag.String("scheduler", "postcard", "postcard | postcard-warm | postcard-fast | postcard-fast-only | flow | flow-two-phase | flow-greedy | direct")
 	dotOut := flag.String("dot", "", "write the time-expanded graph in DOT format to this file")
@@ -47,34 +46,15 @@ func run() error {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			return fmt.Errorf("creating CPU profile: %w", err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return fmt.Errorf("starting CPU profile: %w", err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "postcard-solve: creating heap profile:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // settle the heap so the profile reflects retained memory
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "postcard-solve: writing heap profile:", err)
-			}
-		}()
-	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	nw, files, err := loadInstance(*input)
 	if err != nil {

@@ -1,0 +1,241 @@
+package admission
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/interdc/postcard/internal/netmodel"
+)
+
+// reservationTable dumps every bucket of the reservation view into a
+// comparable map keyed by "from->to@slot".
+func reservationTable(t *testing.T, res *netmodel.Reservations) map[[3]int]float64 {
+	t.Helper()
+	out := map[[3]int]float64{}
+	nw := res.Ledger().Network()
+	n := nw.NumDCs()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for s := 0; s < res.Extent(); s++ {
+				if v := res.Reserved(netmodel.DC(i), netmodel.DC(j), s); v != 0 {
+					out[[3]int{i, j, s}] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestRollbackAfterRepublish is the regression test for the
+// Admit→Republish→Rollback interleaving: after the republish swaps the
+// batch's reservations to the LP plan, Rollback must release exactly the
+// swapped plan and return the reservation view to its pre-batch state —
+// neither leaking LP reservations nor double-releasing the already-freed
+// provisional ones.
+func TestRollbackAfterRepublish(t *testing.T) {
+	nw := triangle(t, 100)
+	ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(ledger, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pre-existing reservation (e.g. a foreign batch on the same view)
+	// that must survive the batch lifecycle untouched.
+	if err := ctrl.Reservations().Reserve(1, 2, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	before := reservationTable(t, ctrl.Reservations())
+
+	files := []netmodel.File{
+		{ID: 1, Src: 0, Dst: 1, Size: 40, Deadline: 3, Release: 0},
+		{ID: 2, Src: 0, Dst: 1, Size: 30, Deadline: 4, Release: 0},
+	}
+	for _, f := range files {
+		dec, err := ctrl.Admit(f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Admitted {
+			t.Fatalf("file %d rejected", f.ID)
+		}
+	}
+	if err := ctrl.Republish(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctrl.Stats().Republishes; got != 1 {
+		t.Fatalf("republishes = %d, want 1 (LP should accept the batch)", got)
+	}
+	if err := ctrl.Rollback(); err != nil {
+		t.Fatalf("rollback after republish: %v", err)
+	}
+	after := reservationTable(t, ctrl.Reservations())
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("reservations after rollback = %v, want pre-batch %v", after, before)
+	}
+	// The controller must be reusable: a fresh batch in a later slot.
+	dec, err := ctrl.Admit(netmodel.File{ID: 3, Src: 0, Dst: 1, Size: 10, Deadline: 5, Release: 1}, 1)
+	if err != nil || !dec.Admitted {
+		t.Fatalf("admit after rollback: admitted=%v err=%v", dec.Admitted, err)
+	}
+}
+
+// TestTakePlanAfterRepublish checks the companion interleaving: TakePlan
+// after a republish releases the swapped LP reservations (not the stale
+// provisional ones) and leaves only the foreign reservation behind.
+func TestTakePlanAfterRepublish(t *testing.T) {
+	nw := triangle(t, 100)
+	ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(ledger, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Reservations().Reserve(1, 2, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	before := reservationTable(t, ctrl.Reservations())
+	if _, err := ctrl.Admit(netmodel.File{ID: 1, Src: 0, Dst: 1, Size: 40, Deadline: 3, Release: 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Republish(0); err != nil {
+		t.Fatal(err)
+	}
+	plan, files, err := ctrl.TakePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || plan == nil {
+		t.Fatalf("TakePlan returned %d files, plan=%v", len(files), plan)
+	}
+	after := reservationTable(t, ctrl.Reservations())
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("reservations after TakePlan = %v, want pre-batch %v", after, before)
+	}
+}
+
+// TestRepublishSwapFailureKeepsFastPlan forces the republish swap to fail
+// half-way: a foreign reservation placed after Admit saturates a link the
+// LP plan needs (the LP solves against the ledger alone, blind to
+// reservations). The swap must restore the provisional reservations and
+// keep the fast plan, and a subsequent Rollback must return the view to
+// the pre-batch state instead of double-releasing.
+func TestRepublishSwapFailureKeepsFastPlan(t *testing.T) {
+	nw := triangle(t, 100)
+	ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(ledger, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Foreign reservations saturate the cheap detour's first hop for the
+	// whole window, so the fast tier must take the expensive direct link —
+	// while the LP, pricing against the ledger alone, will pick the detour.
+	for s := 0; s < 3; s++ {
+		if err := ctrl.Reservations().Reserve(0, 2, s, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	foreign := reservationTable(t, ctrl.Reservations())
+	dec, err := ctrl.Admit(netmodel.File{ID: 1, Src: 0, Dst: 1, Size: 40, Deadline: 3, Release: 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Admitted {
+		t.Fatal("file rejected")
+	}
+	if len(dec.Plan.Path) != 2 {
+		t.Fatalf("fast path %v, want direct 0->1", dec.Plan.Path)
+	}
+	preSwap := reservationTable(t, ctrl.Reservations())
+	if err := ctrl.Republish(0); err != nil {
+		t.Fatalf("republish must degrade gracefully, got %v", err)
+	}
+	if got := ctrl.Stats().Republishes; got != 0 {
+		t.Fatalf("republishes = %d, want 0 (swap could not be applied)", got)
+	}
+	if got := reservationTable(t, ctrl.Reservations()); !reflect.DeepEqual(got, preSwap) {
+		t.Errorf("reservations after failed swap = %v, want unchanged %v", got, preSwap)
+	}
+	// Rollback releases exactly the fast plan, leaving only the foreign
+	// reservations behind.
+	if err := ctrl.Rollback(); err != nil {
+		t.Fatalf("rollback after failed swap: %v", err)
+	}
+	if got := reservationTable(t, ctrl.Reservations()); !reflect.DeepEqual(got, foreign) {
+		t.Errorf("reservations after rollback = %v, want foreign only %v", got, foreign)
+	}
+}
+
+// TestControllerSnapshotRoundTrip checks that a controller with an open,
+// republished batch survives a JSON snapshot/restore cycle: the restored
+// controller's TakePlan yields the same schedule, files, and counters.
+func TestControllerSnapshotRoundTrip(t *testing.T) {
+	nw := triangle(t, 100)
+	ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(ledger, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []netmodel.File{
+		{ID: 1, Src: 0, Dst: 1, Size: 40, Deadline: 3, Release: 0},
+		{ID: 2, Src: 1, Dst: 2, Size: 20, Deadline: 4, Release: 0},
+	}
+	for _, f := range files {
+		if _, err := ctrl.Admit(f, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ctrl.Republish(0); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := json.Marshal(ctrl.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap ControllerSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore over a ledger rebuilt from its own snapshot, as the server does.
+	ledger2, err := netmodel.LedgerFromSnapshot(nw, ledger.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl2, err := RestoreController(ledger2, nil, &snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reservationTable(t, ctrl.Reservations()), reservationTable(t, ctrl2.Reservations())) {
+		t.Error("restored reservations differ")
+	}
+	if ctrl.Stats() != ctrl2.Stats() {
+		t.Errorf("restored stats %+v, want %+v", ctrl2.Stats(), ctrl.Stats())
+	}
+	p1, f1, err := ctrl.TakePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, f2, err := ctrl2.TakePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f1, f2) {
+		t.Errorf("restored files %v, want %v", f2, f1)
+	}
+	if !reflect.DeepEqual(p1.Actions(), p2.Actions()) {
+		t.Errorf("restored plan %v, want %v", p2.Actions(), p1.Actions())
+	}
+}

@@ -120,6 +120,19 @@ func (c *Controller) Pending() []netmodel.File {
 	return append([]netmodel.File(nil), c.files...)
 }
 
+// BatchPlan returns the open batch's current merged schedule — the
+// provisional single-path plans, or the LP plan after a successful
+// Republish — as a sorted action list. Empty when no batch is open.
+func (c *Controller) BatchPlan() []schedule.Action {
+	if c.plan == nil {
+		return nil
+	}
+	return c.plan.Actions()
+}
+
+// BatchCost reports the open batch's provisional cost-per-slot delta.
+func (c *Controller) BatchCost() float64 { return c.batchCost }
+
 // Admit answers the fast-path admission decision for one arriving file at
 // slot now: it searches for the cheapest feasible single-path placement
 // under the unreserved capacities (headroom-only under q < 100) and, when
@@ -165,6 +178,14 @@ func (c *Controller) Admit(f netmodel.File, now int) (Decision, error) {
 // re-planned from the committed state. The batch's provisional plans prove
 // the LP feasible, so a non-optimal status is defensive: the fast plan is
 // kept and no error is returned.
+//
+// The swap is failure-atomic: the reservation state is restored to the
+// pre-swap buckets whenever any step fails, so c.plan and the live
+// reservations never disagree. Without that restore, a swap that released
+// the provisional reservations but could not reserve the LP plan (e.g. a
+// foreign reservation was placed on the view after Admit) left the
+// controller pointing at a plan whose reservations were already freed —
+// and the server drain path's Rollback/TakePlan then double-released them.
 func (c *Controller) Republish(now int) error {
 	if len(c.files) == 0 {
 		return nil
@@ -183,11 +204,18 @@ func (c *Controller) Republish(now int) error {
 		return nil
 	}
 	lpDelta := res.CostPerSlot - c.res.Ledger().CostPerSlot()
+	saved := c.res.Clone()
 	if err := c.releaseSchedule(c.plan); err != nil {
+		c.restoreReservations(saved)
 		return fmt.Errorf("admission: releasing fast-tier reservations: %w", err)
 	}
 	if err := c.reserveSchedule(res.Schedule); err != nil {
-		return fmt.Errorf("admission: reserving republished plan: %w", err)
+		// The LP plan no longer fits the reservation view (it was solved
+		// against the ledger alone). Restore the provisional reservations
+		// and keep the fast plan — the same defensive outcome as a
+		// non-optimal solve.
+		c.restoreReservations(saved)
+		return nil
 	}
 	c.stats.Republishes++
 	c.stats.RepublishDelta += c.batchCost - lpDelta
@@ -199,13 +227,17 @@ func (c *Controller) Republish(now int) error {
 // TakePlan closes the open batch: reservations are released (the caller is
 // about to commit the schedule to the ledger, which supersedes them) and
 // the batch's schedule and files are returned. The returned schedule is
-// never nil.
+// never nil. After a Republish the released reservations are the swapped
+// LP plan's, which by Republish's atomicity always match c.plan; a release
+// failure restores the pre-release buckets and keeps the batch open.
 func (c *Controller) TakePlan() (*schedule.Schedule, []netmodel.File, error) {
 	plan, files := c.plan, c.files
 	if plan == nil {
 		plan = &schedule.Schedule{}
 	}
+	saved := c.res.Clone()
 	if err := c.releaseSchedule(c.plan); err != nil {
+		c.restoreReservations(saved)
 		return nil, nil, fmt.Errorf("admission: closing batch: %w", err)
 	}
 	c.stats.FastCost += c.batchCost
@@ -213,15 +245,27 @@ func (c *Controller) TakePlan() (*schedule.Schedule, []netmodel.File, error) {
 	return plan, files, nil
 }
 
-// Rollback discards the open batch, releasing all its reservations. The
-// admit/reject counters keep the decisions; the discarded batch contributes
-// nothing to FastCost.
+// Rollback discards the open batch, releasing all its reservations — the
+// swapped LP plan's after a Republish, the provisional single-path ones
+// before. The admit/reject counters keep the decisions; the discarded
+// batch contributes nothing to FastCost. A release failure restores the
+// pre-release buckets and keeps the batch open, exactly like TakePlan.
 func (c *Controller) Rollback() error {
+	saved := c.res.Clone()
 	if err := c.releaseSchedule(c.plan); err != nil {
+		c.restoreReservations(saved)
 		return fmt.Errorf("admission: rollback: %w", err)
 	}
 	c.plan, c.files, c.batchCost = nil, nil, 0
 	return nil
+}
+
+// restoreReservations rolls the live reservation view back to a saved
+// clone. CopyFrom cannot fail here: the clone shares c.res's ledger.
+func (c *Controller) restoreReservations(saved *netmodel.Reservations) {
+	if err := c.res.CopyFrom(saved); err != nil {
+		panic("admission: restoring reservation snapshot: " + err.Error())
+	}
 }
 
 // reserveSchedule reserves every transfer action of s; on failure the

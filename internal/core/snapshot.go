@@ -1,0 +1,93 @@
+package core
+
+import (
+	"github.com/interdc/postcard/internal/lp"
+	"github.com/interdc/postcard/internal/netmodel"
+)
+
+// SnapshotKey is the serializable form of one modelKey: the structural
+// identity of an LP column or row, stable across processes because it is
+// built only from file IDs, datacenter indices, and absolute slots.
+type SnapshotKey struct {
+	Kind int8 `json:"k"`
+	File int  `json:"f"`
+	From int  `json:"i"`
+	To   int  `json:"j"`
+	Slot int  `json:"s"`
+}
+
+// SolverSnapshot is the serializable cross-slot state of a Solver: the
+// last optimal basis with the structural keys of its columns and rows,
+// plus the cumulative work counters. Restoring it into a fresh Solver
+// bound to an equivalent network makes the next Solve map the basis
+// exactly as an uninterrupted solver would, so a process restart resumes
+// the remaining horizon with bit-identical plans (the recycled
+// time-expanded graph and builder are rebuilt on demand and never affect
+// results — only the GraphReuses counter can differ).
+type SolverSnapshot struct {
+	// Valid reports whether the snapshot carries warm-start state; a
+	// solver that has not solved anything yet snapshots Valid == false
+	// with only its counters.
+	Valid bool          `json:"valid"`
+	PrevT int           `json:"prev_t"`
+	Basis *lp.Basis     `json:"basis,omitempty"`
+	Cols  []SnapshotKey `json:"cols,omitempty"`
+	Rows  []SnapshotKey `json:"rows,omitempty"`
+	Stats SolveStats    `json:"stats"`
+}
+
+// Snapshot captures the solver's warm-start state and counters. The
+// returned value shares nothing with the solver.
+func (s *Solver) Snapshot() *SolverSnapshot {
+	snap := &SolverSnapshot{Stats: s.stats}
+	if !s.valid || s.basis == nil {
+		return snap
+	}
+	snap.Valid = true
+	snap.PrevT = s.prevT
+	snap.Basis = s.basis.Clone()
+	snap.Cols = keysToSnapshot(s.cols)
+	snap.Rows = keysToSnapshot(s.rows)
+	return snap
+}
+
+// Restore primes the solver from a snapshot, binding the warm-start state
+// to nw — the network the subsequent Solve calls will run against (the
+// cache keys carry absolute slots, so nw must describe the same topology
+// and pricing the snapshot was captured under for the resumed plans to
+// match). A snapshot without valid state, or one whose shapes do not line
+// up, restores only the counters and leaves the solver cold.
+func (s *Solver) Restore(nw *netmodel.Network, snap *SolverSnapshot) {
+	s.Reset()
+	if snap == nil {
+		return
+	}
+	s.stats = snap.Stats
+	if !snap.Valid || snap.Basis == nil || nw == nil ||
+		snap.Basis.NumVars != len(snap.Cols) || snap.Basis.NumRows != len(snap.Rows) ||
+		len(snap.Basis.Status) != snap.Basis.NumVars+snap.Basis.NumRows {
+		return
+	}
+	s.nw = nw
+	s.prevT = snap.PrevT
+	s.valid = true
+	s.basis = snap.Basis.Clone()
+	s.cols = snapshotToKeys(snap.Cols)
+	s.rows = snapshotToKeys(snap.Rows)
+}
+
+func keysToSnapshot(keys []modelKey) []SnapshotKey {
+	out := make([]SnapshotKey, len(keys))
+	for i, k := range keys {
+		out[i] = SnapshotKey{Kind: k.kind, File: k.file, From: int(k.from), To: int(k.to), Slot: k.slot}
+	}
+	return out
+}
+
+func snapshotToKeys(keys []SnapshotKey) []modelKey {
+	out := make([]modelKey, len(keys))
+	for i, k := range keys {
+		out[i] = modelKey{kind: k.Kind, file: k.File, from: netmodel.DC(k.From), to: netmodel.DC(k.To), slot: k.Slot}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/interdc/postcard/internal/netmodel"
+)
+
+// TestSolverSnapshotResumesBitIdentical drives two solvers over the same
+// slot chain: A runs uninterrupted; B is built mid-horizon from A's JSON
+// snapshot (as the postcard-server restart path does) and continues over a
+// ledger restored from its own snapshot. Every remaining slot must produce
+// bit-identical costs and schedules, and B's first solve must warm-start —
+// the restored basis, not a cold crash basis, drives the resumed plans.
+func TestSolverSnapshotResumesBitIdentical(t *testing.T) {
+	nw := chainNetwork(t, 5, 60)
+	ledgerA, err := netmodel.NewLedger(nw, netmodel.MaxCharging(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solverA := NewSolver(nil)
+	const cut, slots = 4, 9
+	rng := rand.New(rand.NewSource(7))
+	var chain [][]netmodel.File
+	nextID := 0
+	for slot := 0; slot < slots; slot++ {
+		files := chainFiles(rng, nw, slot, nextID)
+		nextID += len(files)
+		chain = append(chain, files)
+	}
+	for slot := 0; slot < cut; slot++ {
+		res, err := solverA.Solve(ledgerA, chain[slot], slot)
+		if err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+		if err := res.Schedule.Apply(ledgerA); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill/restart: everything crosses JSON, as the on-disk snapshot does.
+	rawSolver, err := json.Marshal(solverA.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawLedger, err := json.Marshal(ledgerA.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solverSnap SolverSnapshot
+	if err := json.Unmarshal(rawSolver, &solverSnap); err != nil {
+		t.Fatal(err)
+	}
+	var ledgerSnap netmodel.LedgerSnapshot
+	if err := json.Unmarshal(rawLedger, &ledgerSnap); err != nil {
+		t.Fatal(err)
+	}
+	ledgerB, err := netmodel.LedgerFromSnapshot(nw, &ledgerSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solverB := NewSolver(nil)
+	solverB.Restore(nw, &solverSnap)
+	if got, want := solverB.Stats(), solverA.Stats(); got != want {
+		t.Fatalf("restored stats %+v, want %+v", got, want)
+	}
+
+	for slot := cut; slot < slots; slot++ {
+		resA, err := solverA.Solve(ledgerA, chain[slot], slot)
+		if err != nil {
+			t.Fatalf("slot %d: A: %v", slot, err)
+		}
+		resB, err := solverB.Solve(ledgerB, chain[slot], slot)
+		if err != nil {
+			t.Fatalf("slot %d: B: %v", slot, err)
+		}
+		if slot == cut && !resB.WarmStarted {
+			t.Error("restored solver's first solve did not warm-start")
+		}
+		if resA.CostPerSlot != resB.CostPerSlot {
+			t.Errorf("slot %d: cost A %v != B %v", slot, resA.CostPerSlot, resB.CostPerSlot)
+		}
+		if !reflect.DeepEqual(resA.Schedule.Actions(), resB.Schedule.Actions()) {
+			t.Errorf("slot %d: schedules diverge after restore", slot)
+		}
+		if err := resA.Schedule.Apply(ledgerA); err != nil {
+			t.Fatal(err)
+		}
+		if err := resB.Schedule.Apply(ledgerB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, b := ledgerA.CostPerSlot(), ledgerB.CostPerSlot(); a != b {
+		t.Errorf("final ledger cost A %v != B %v", a, b)
+	}
+}
+
+// TestSolverSnapshotColdAndInvalid pins the degraded paths: a cold solver
+// snapshots only its counters, and a snapshot with inconsistent shapes
+// restores the counters but leaves the solver cold instead of feeding the
+// simplex a corrupt basis.
+func TestSolverSnapshotColdAndInvalid(t *testing.T) {
+	s := NewSolver(nil)
+	snap := s.Snapshot()
+	if snap.Valid || snap.Basis != nil {
+		t.Fatalf("cold solver snapshot claims warm state: %+v", snap)
+	}
+	nw := chainNetwork(t, 3, 50)
+	s2 := NewSolver(nil)
+	s2.Restore(nw, snap)
+	if s2.valid {
+		t.Error("restoring a cold snapshot marked the solver warm")
+	}
+	s2.Restore(nw, nil)
+	if s2.valid {
+		t.Error("restoring a nil snapshot marked the solver warm")
+	}
+
+	// Corrupt shape: basis dimensions disagree with the key lists.
+	ledger, err := netmodel.NewLedger(nw, netmodel.MaxCharging(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewSolver(nil)
+	if _, err := warm.Solve(ledger, []netmodel.File{{ID: 1, Src: 0, Dst: 1, Size: 5, Deadline: 2}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	bad := warm.Snapshot()
+	if !bad.Valid {
+		t.Fatal("solved solver snapshot not valid")
+	}
+	bad.Cols = bad.Cols[:len(bad.Cols)-1]
+	s3 := NewSolver(nil)
+	s3.Restore(nw, bad)
+	if s3.valid {
+		t.Error("shape-inconsistent snapshot accepted as warm state")
+	}
+	if s3.Stats() != bad.Stats {
+		t.Error("counters not restored from degraded snapshot")
+	}
+}

@@ -68,8 +68,16 @@ func (c Charging) ChargedVolume(volumes []float64) float64 {
 
 // chargedVolume is ChargedVolume over an explicit period, which must be at
 // least c.PeriodSlots; recorded slots beyond it still extend it.
+//
+// The arbitrary-q configuration surface (the postcard-server -q flag, or a
+// Charging literal that skipped Validate) can reach this with percentiles
+// Validate would reject, so the edges are guarded here rather than assumed
+// away: q <= 0 (or NaN) charges nothing — every sample sits at or above the
+// 0th percentile, so no slot's volume is attributable — and a ledger with
+// fewer recorded samples than the percentile rank pads with the zero-traffic
+// slots an ISP meter would have recorded (rank <= zeros charges 0).
 func (c Charging) chargedVolume(volumes []float64, period int) float64 {
-	if len(volumes) == 0 {
+	if len(volumes) == 0 || c.Q <= 0 || math.IsNaN(c.Q) {
 		return 0
 	}
 	if c.Q >= 100 {

@@ -100,16 +100,16 @@ func TestPercentileRankFractional(t *testing.T) {
 		period int
 		want   int
 	}{
-		{12.5, 8, 1},    // exact integer product: 1.0
-		{12.5, 16, 2},   // exact: 2.0
-		{37.5, 8, 3},    // exact: 3.0
-		{50.5, 10, 6},   // 5.05 -> 6
-		{99.9, 10, 10},  // 9.99 -> 10
-		{0.1, 300, 1},   // 0.3 -> 1
-		{33.4, 3, 2},    // 1.002 -> 2
-		{66.7, 3, 3},    // 2.001 -> 3
-		{0.001, 5, 1},   // clamps up to 1
-		{99.99, 1, 1},   // clamps down to period
+		{12.5, 8, 1},   // exact integer product: 1.0
+		{12.5, 16, 2},  // exact: 2.0
+		{37.5, 8, 3},   // exact: 3.0
+		{50.5, 10, 6},  // 5.05 -> 6
+		{99.9, 10, 10}, // 9.99 -> 10
+		{0.1, 300, 1},  // 0.3 -> 1
+		{33.4, 3, 2},   // 1.002 -> 2
+		{66.7, 3, 3},   // 2.001 -> 3
+		{0.001, 5, 1},  // clamps up to 1
+		{99.99, 1, 1},  // clamps down to period
 	}
 	for _, c := range cases {
 		if got := percentileRank(c.q, c.period); got != c.want {
@@ -368,5 +368,54 @@ func TestChargedVolumeIsMultisetElement(t *testing.T) {
 			t.Fatalf("trial %d (q=%v period=%d used=%d): charged %v, want %v",
 				trial, q, period, used, got, want)
 		}
+	}
+}
+
+// TestChargedVolumeEdgeCases pins the guards on the arbitrary-q surface the
+// postcard-server config exposes: q at or below zero (and NaN) charges
+// nothing, percentiles landing between the last two samples charge the
+// correct order statistic, and ledgers with fewer recorded samples than the
+// percentile rank pad with zero-traffic slots.
+func TestChargedVolumeEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		q       float64
+		period  int
+		volumes []float64
+		want    float64
+	}{
+		{"q zero charges nothing", 0, 10, []float64{5, 1, 9}, 0},
+		{"q negative charges nothing", -3, 10, []float64{5, 1, 9}, 0},
+		{"q NaN charges nothing", math.NaN(), 10, []float64{5, 1, 9}, 0},
+		{"empty series charges nothing", 95, 10, nil, 0},
+		// period 10, q=95 → rank ceil(9.5)=10: the top sample.
+		{"rank lands on last sample", 95, 10, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 10},
+		// period 10, q=85 → rank ceil(8.5)=9: between the last two samples
+		// the charge is the second-largest, not an interpolation.
+		{"rank between last two samples", 85, 10, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 9},
+		// period 10, q=90 → rank 9; only 3 recorded samples pad with 7
+		// zeros, so rank 9 selects sorted[9-7-1] = the middle sample.
+		{"fewer samples than rank", 90, 10, []float64{5, 1, 9}, 5},
+		// period 10, q=50 → rank 5 ≤ 7 zeros: charge is a padded zero.
+		{"rank inside zero padding", 50, 10, []float64{5, 1, 9}, 0},
+		// rank exactly equals the zero count + 1: first real sample.
+		{"rank just past zero padding", 80, 10, []float64{5, 1, 9}, 1},
+		// tiny positive q clamps the rank to 1, never 0.
+		{"tiny q clamps rank to one", 1e-9, 10, []float64{5, 1, 9}, 0},
+		{"q at 100 is the peak", 100, 10, []float64{5, 1, 9}, 9},
+		{"q above 100 is the peak", 250, 10, []float64{5, 1, 9}, 9},
+		// recording beyond the period extends it: 12 samples over a
+		// nominal 10-slot period, q=95 → rank ceil(11.4)=12: the top.
+		{"period extension", 95, 10, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, 12},
+		{"single sample single slot", 50, 1, []float64{4}, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Charging{Q: tc.q, PeriodSlots: tc.period}
+			if got := c.ChargedVolume(tc.volumes); got != tc.want {
+				t.Errorf("Charging{Q:%v, Period:%d}.ChargedVolume(%v) = %v, want %v",
+					tc.q, tc.period, tc.volumes, got, tc.want)
+			}
+		})
 	}
 }

@@ -1,0 +1,154 @@
+package netmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the snapshot serialization layer of the netmodel state the
+// postcard-server daemon persists across restarts: the charging ledger's
+// per-link volume series and the admission tier's reservation buckets.
+// Snapshots are plain JSON-marshalable values; float64 series round-trip
+// bit-exactly through encoding/json (shortest round-trip formatting), which
+// is what lets a restored server resume its remaining horizon with plans
+// identical to an uninterrupted run.
+
+// LinkSeries is one directed link's per-slot float series inside a
+// snapshot (traffic volumes for a ledger, reserved capacity for a
+// reservation view). Slots[k] is the value at absolute slot k.
+type LinkSeries struct {
+	From  int       `json:"from"`
+	To    int       `json:"to"`
+	Slots []float64 `json:"slots"`
+}
+
+// LedgerSnapshot is the serializable state of a Ledger: the charging
+// scheme plus every link's recorded volume series. The network itself is
+// not included — it is restored separately (e.g. from an Instance) and
+// handed to LedgerFromSnapshot.
+type LedgerSnapshot struct {
+	Q           float64      `json:"q"`
+	PeriodSlots int          `json:"period_slots"`
+	MaxSlot     int          `json:"max_slot"`
+	Links       []LinkSeries `json:"links,omitempty"`
+}
+
+// Snapshot captures the ledger's full state. Links are emitted in
+// ascending (from, to) order, so identical ledgers produce byte-identical
+// snapshots.
+func (l *Ledger) Snapshot() *LedgerSnapshot {
+	snap := &LedgerSnapshot{Q: l.scheme.Q, PeriodSlots: l.scheme.PeriodSlots, MaxSlot: l.maxSlot}
+	snap.Links = seriesOf(l.nw, l.volumes)
+	return snap
+}
+
+// LedgerFromSnapshot rebuilds a ledger over nw from a snapshot captured by
+// Ledger.Snapshot. The network must contain every link the snapshot
+// references; volumes are restored bit-exactly.
+func LedgerFromSnapshot(nw *Network, snap *LedgerSnapshot) (*Ledger, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("netmodel: nil ledger snapshot")
+	}
+	l, err := NewLedger(nw, Charging{Q: snap.Q, PeriodSlots: snap.PeriodSlots})
+	if err != nil {
+		return nil, err
+	}
+	maxLen, err := restoreSeries(nw, l.volumes, snap.Links, "ledger")
+	if err != nil {
+		return nil, err
+	}
+	if snap.MaxSlot < maxLen-1 {
+		return nil, fmt.Errorf("netmodel: ledger snapshot max_slot %d below recorded slot %d", snap.MaxSlot, maxLen-1)
+	}
+	l.maxSlot = snap.MaxSlot
+	return l, nil
+}
+
+// ReservationsSnapshot is the serializable state of a Reservations view.
+type ReservationsSnapshot struct {
+	MaxSlot int          `json:"max_slot"`
+	Links   []LinkSeries `json:"links,omitempty"`
+}
+
+// Snapshot captures the reservation buckets and extent, in ascending
+// (from, to) link order.
+func (r *Reservations) Snapshot() *ReservationsSnapshot {
+	return &ReservationsSnapshot{MaxSlot: r.maxSlot, Links: seriesOf(r.ledger.nw, r.reserved)}
+}
+
+// RestoreSnapshot overwrites the reservation view's buckets with the
+// snapshot's. The underlying ledger is unchanged; the snapshot must only
+// reference links of its network and non-negative amounts.
+func (r *Reservations) RestoreSnapshot(snap *ReservationsSnapshot) error {
+	if snap == nil {
+		return fmt.Errorf("netmodel: nil reservations snapshot")
+	}
+	fresh := make([][]float64, len(r.reserved))
+	maxLen, err := restoreSeries(r.ledger.nw, fresh, snap.Links, "reservations")
+	if err != nil {
+		return err
+	}
+	if snap.MaxSlot < maxLen-1 {
+		return fmt.Errorf("netmodel: reservations snapshot max_slot %d below recorded slot %d", snap.MaxSlot, maxLen-1)
+	}
+	r.reserved = fresh
+	r.maxSlot = snap.MaxSlot
+	return nil
+}
+
+// CopyFrom overwrites r's buckets and extent with a deep copy of o's.
+// Both views must sit over the same ledger; the admission controller uses
+// this to restore a pre-swap state after a failed republish, so a batch's
+// reservations always match its recorded plan exactly.
+func (r *Reservations) CopyFrom(o *Reservations) error {
+	if r.ledger != o.ledger {
+		return fmt.Errorf("netmodel: CopyFrom across different ledgers")
+	}
+	for k, vs := range o.reserved {
+		if len(vs) == 0 {
+			r.reserved[k] = r.reserved[k][:0]
+			continue
+		}
+		r.reserved[k] = append(r.reserved[k][:0], vs...)
+	}
+	r.maxSlot = o.maxSlot
+	return nil
+}
+
+// seriesOf converts a dense [linkIndex][slot] table into the snapshot's
+// sparse link list, ascending (from, to).
+func seriesOf(nw *Network, table [][]float64) []LinkSeries {
+	var out []LinkSeries
+	for i := 0; i < nw.n; i++ {
+		for j := 0; j < nw.n; j++ {
+			vs := table[i*nw.n+j]
+			if len(vs) == 0 {
+				continue
+			}
+			out = append(out, LinkSeries{From: i, To: j, Slots: append([]float64(nil), vs...)})
+		}
+	}
+	return out
+}
+
+// restoreSeries writes the snapshot's link list back into a dense table,
+// validating links against the network and values for finiteness and sign.
+// It reports the longest restored series (0 when none).
+func restoreSeries(nw *Network, table [][]float64, links []LinkSeries, what string) (int, error) {
+	maxLen := 0
+	for _, ls := range links {
+		if !nw.HasLink(DC(ls.From), DC(ls.To)) {
+			return 0, fmt.Errorf("netmodel: %s snapshot references non-existent link %d->%d", what, ls.From, ls.To)
+		}
+		for _, v := range ls.Slots {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("netmodel: %s snapshot has invalid value %g on %d->%d", what, v, ls.From, ls.To)
+			}
+		}
+		table[nw.idx(DC(ls.From), DC(ls.To))] = append([]float64(nil), ls.Slots...)
+		if len(ls.Slots) > maxLen {
+			maxLen = len(ls.Slots)
+		}
+	}
+	return maxLen, nil
+}

@@ -1,0 +1,168 @@
+package netmodel
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func snapshotNetwork(t *testing.T) *Network {
+	t.Helper()
+	nw, err := NewNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []struct {
+		from, to DC
+		price    float64
+	}{{0, 1, 2}, {0, 2, 1}, {2, 1, 1}, {1, 0, 3}} {
+		if err := nw.SetLink(l.from, l.to, l.price, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+// TestLedgerSnapshotRoundTrip checks that a ledger survives a JSON
+// snapshot/restore cycle bit-exactly: volumes, charged volumes, and the
+// recorded extent all match, including awkward float values.
+func TestLedgerSnapshotRoundTrip(t *testing.T) {
+	nw := snapshotNetwork(t)
+	l, err := NewLedger(nw, Charging{Q: 95, PeriodSlots: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adds := []struct {
+		i, j DC
+		slot int
+		amt  float64
+	}{
+		{0, 1, 0, 0.1}, {0, 1, 3, 1.0 / 3.0}, {0, 2, 1, 7e-17}, {2, 1, 5, 41.25},
+	}
+	for _, a := range adds {
+		if err := l.Add(a.i, a.j, a.slot, a.amt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := json.Marshal(l.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap LedgerSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := LedgerFromSnapshot(nw, &snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(l.volumes, l2.volumes) {
+		t.Errorf("restored volumes differ:\n got %v\nwant %v", l2.volumes, l.volumes)
+	}
+	if l2.maxSlot != l.maxSlot {
+		t.Errorf("restored maxSlot %d, want %d", l2.maxSlot, l.maxSlot)
+	}
+	if got, want := l2.CostPerSlot(), l.CostPerSlot(); got != want {
+		t.Errorf("restored CostPerSlot %v, want %v", got, want)
+	}
+	// Snapshots of identical ledgers are byte-identical (deterministic
+	// link order), which keeps snapshot diffing meaningful.
+	raw2, err := json.Marshal(l2.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Errorf("re-snapshot differs:\n got %s\nwant %s", raw2, raw)
+	}
+}
+
+// TestLedgerSnapshotValidation checks the restore guards: unknown links,
+// non-finite or negative values, and an understated max_slot are rejected.
+func TestLedgerSnapshotValidation(t *testing.T) {
+	nw := snapshotNetwork(t)
+	cases := []struct {
+		name string
+		snap LedgerSnapshot
+		want string
+	}{
+		{"nil handled by caller", LedgerSnapshot{Q: 100, PeriodSlots: 4}, ""},
+		{"bad scheme", LedgerSnapshot{Q: 0, PeriodSlots: 4}, "percentile"},
+		{"unknown link", LedgerSnapshot{Q: 100, PeriodSlots: 4, Links: []LinkSeries{{From: 1, To: 2, Slots: []float64{1}}}}, "non-existent link"},
+		{"negative volume", LedgerSnapshot{Q: 100, PeriodSlots: 4, MaxSlot: 0, Links: []LinkSeries{{From: 0, To: 1, Slots: []float64{-1}}}}, "invalid value"},
+		{"NaN volume", LedgerSnapshot{Q: 100, PeriodSlots: 4, MaxSlot: 0, Links: []LinkSeries{{From: 0, To: 1, Slots: []float64{math.NaN()}}}}, "invalid value"},
+		{"understated max_slot", LedgerSnapshot{Q: 100, PeriodSlots: 4, MaxSlot: 0, Links: []LinkSeries{{From: 0, To: 1, Slots: []float64{1, 2, 3}}}}, "max_slot"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LedgerFromSnapshot(nw, &tc.snap)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+	if _, err := LedgerFromSnapshot(nw, nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}
+
+// TestReservationsSnapshotRoundTrip checks the reservation view's
+// snapshot/restore and the CopyFrom in-place restore path.
+func TestReservationsSnapshotRoundTrip(t *testing.T) {
+	nw := snapshotNetwork(t)
+	l, err := NewLedger(nw, MaxCharging(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReservations(l)
+	if err := r.Reserve(0, 1, 2, 12.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reserve(2, 1, 4, 1.0/3.0); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap ReservationsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewReservations(l)
+	if err := r2.RestoreSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.reserved, r2.reserved) || r.maxSlot != r2.maxSlot {
+		t.Errorf("restored reservations differ: %v/%d vs %v/%d", r2.reserved, r2.maxSlot, r.reserved, r.maxSlot)
+	}
+
+	// CopyFrom restores in place over the same ledger...
+	r3 := NewReservations(l)
+	if err := r3.Reserve(1, 0, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r3.CopyFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	// CopyFrom may keep truncated buckets where the source had none (it
+	// reuses allocations), so compare the canonical snapshot form.
+	if !reflect.DeepEqual(r3.Snapshot(), r.Snapshot()) {
+		t.Errorf("CopyFrom did not overwrite buckets: %+v vs %+v", r3.Snapshot(), r.Snapshot())
+	}
+	// ...and refuses to cross ledgers.
+	other, err := NewLedger(nw, MaxCharging(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewReservations(other).CopyFrom(r); err == nil {
+		t.Error("CopyFrom across ledgers accepted")
+	}
+}

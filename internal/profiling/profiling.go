@@ -1,0 +1,84 @@
+// Package profiling centralizes the pprof flag handling of the postcard
+// CLIs. Every command wires Start's stop function into its run() error
+// path, so a profile that could not be written — a failed Close included —
+// fails the command with a non-zero exit instead of silently producing a
+// truncated or missing profile.
+package profiling
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start enables CPU profiling to cpuPath and schedules a heap profile to
+// memPath; either path may be empty to skip that profile. The returned
+// stop function finishes both profiles and reports every failure,
+// including file Close errors; it is idempotent, so it is safe to both
+// defer it and call it explicitly. Callers should propagate stop's error
+// into their exit status:
+//
+//	func run() (err error) {
+//		stop, err := profiling.Start(*cpuProfile, *memProfile)
+//		if err != nil {
+//			return err
+//		}
+//		defer func() {
+//			if perr := stop(); perr != nil && err == nil {
+//				err = perr
+//			}
+//		}()
+//		...
+//	}
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		var errs []error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("closing CPU profile: %w", err))
+			}
+		}
+		if memPath != "" {
+			if err := writeHeapProfile(memPath); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return errors.Join(errs...)
+	}, nil
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating heap profile: %w", err)
+	}
+	runtime.GC() // settle the heap so the profile reflects retained memory
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing heap profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing heap profile: %w", err)
+	}
+	return nil
+}

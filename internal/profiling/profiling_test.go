@@ -1,0 +1,62 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartWritesProfiles checks the happy path: both profiles exist and
+// are non-empty after stop, and stop is idempotent.
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestStartEmptyPathsIsNoop checks that empty paths produce no files and
+// no errors — the default, flags-unset case.
+func TestStartEmptyPathsIsNoop(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStartErrors checks the failure paths the CLIs must turn into a
+// non-zero exit: an uncreatable CPU profile fails Start, and an
+// unwritable heap profile path fails stop.
+func TestStartErrors(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.prof"), ""); err == nil {
+		t.Error("uncreatable CPU profile path accepted")
+	}
+	stop, err := Start("", filepath.Join(t.TempDir(), "no", "such", "dir", "mem.prof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Error("uncreatable heap profile path did not fail stop")
+	}
+}

@@ -52,22 +52,46 @@ func (p *Poisson) FilesAt(slot int) []netmodel.File {
 	return files
 }
 
+// poissonChunk is the lambda increment per accumulation round of
+// poissonDrawChunked. Its value is immaterial to the sampled stream (see
+// below); it only bounds how much of lambda each round folds into the
+// running target.
+const poissonChunk = 500
+
 // poissonDraw samples Poisson(lambda) by Knuth's product-of-uniforms
-// method, splitting large lambda into chunks so the running product
-// exp(-lambda) stays away from underflow. Expected draws are O(lambda),
-// which is fine for the per-slot rates the benchmark uses.
+// method. Expected draws are O(lambda), which is fine for the per-slot
+// rates the benchmark uses.
 func poissonDraw(rng *rand.Rand, lambda float64) int {
+	return poissonDrawChunked(rng, lambda, poissonChunk)
+}
+
+// poissonDrawChunked is poissonDraw with an explicit chunk size. The
+// product of uniforms is accumulated in log space — logProd tracks
+// log(u_0 u_1 ...) against a running target that each round lowers by at
+// most chunk — so exp(-lambda) never underflows however large lambda is.
+//
+// The draw is chunk-invariant: a uniform is consumed exactly while
+// logProd is above the final target -lambda, and every intermediate
+// target of every partition of lambda is >= -lambda, so the inner loop
+// stops early at round boundaries but never consumes an extra uniform or
+// skips one. Same seed + same lambda => same count AND same number of
+// uniforms consumed, for every chunk size — which is what keeps a seeded
+// arrival stream identical across refactors of the chunking. (The
+// previous sampler restarted the product per chunk, consuming one extra
+// uniform per round, so its streams depended on the chunk constant.)
+func poissonDrawChunked(rng *rand.Rand, lambda, chunk float64) int {
 	count := 0
+	logProd := math.Log(rng.Float64())
+	target := 0.0
 	for lambda > 0 {
 		step := lambda
-		if step > 500 {
-			step = 500
+		if step > chunk {
+			step = chunk
 		}
-		limit := math.Exp(-step)
-		prod := rng.Float64()
-		for prod > limit {
+		target -= step
+		for logProd > target {
 			count++
-			prod *= rng.Float64()
+			logProd += math.Log(rng.Float64())
 		}
 		lambda -= step
 	}

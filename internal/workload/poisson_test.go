@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -103,5 +104,57 @@ func TestPoissonValidation(t *testing.T) {
 	bad.Uniform.NumDCs = 1
 	if _, err := NewPoisson(bad); err == nil {
 		t.Error("1-DC workload accepted")
+	}
+}
+
+// TestPoissonChunkInvariant checks that the sampled count stream is
+// independent of the chunking of lambda: for any chunk size, the same
+// seeded source must yield the same counts AND leave the source at the
+// same position (same number of uniforms consumed), slot after slot.
+func TestPoissonChunkInvariant(t *testing.T) {
+	lambdas := []float64{0.3, 3, 42, 500, 1250, 1800, 4000}
+	chunks := []float64{125, 250, 500, 1000, 2000, math.Inf(1)}
+	for _, lambda := range lambdas {
+		ref := rand.New(rand.NewSource(11))
+		var want []int
+		for i := 0; i < 50; i++ {
+			want = append(want, poissonDrawChunked(ref, lambda, poissonChunk))
+		}
+		refNext := ref.Int63()
+		for _, chunk := range chunks {
+			rng := rand.New(rand.NewSource(11))
+			for i, w := range want {
+				if got := poissonDrawChunked(rng, lambda, chunk); got != w {
+					t.Fatalf("lambda %g chunk %g draw %d: count %d, want %d", lambda, chunk, i, got, w)
+				}
+			}
+			if got := rng.Int63(); got != refNext {
+				t.Errorf("lambda %g chunk %g: source position diverged (consumed a different number of uniforms)", lambda, chunk)
+			}
+		}
+	}
+}
+
+// TestPoissonGeneratorDeterminismLargeLambda checks end-to-end that two
+// generators with the same seed produce identical arrival streams at a
+// lambda large enough to span many chunks.
+func TestPoissonGeneratorDeterminismLargeLambda(t *testing.T) {
+	cfg := poissonConfig(1800, 21)
+	a, err := NewPoisson(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPoisson(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 3; slot++ {
+		fa, fb := a.FilesAt(slot), b.FilesAt(slot)
+		if len(fa) == 0 {
+			t.Fatalf("slot %d: empty batch at lambda %g", slot, cfg.Lambda)
+		}
+		if !reflect.DeepEqual(fa, fb) {
+			t.Fatalf("slot %d: same-seed streams diverge", slot)
+		}
 	}
 }

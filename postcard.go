@@ -14,7 +14,11 @@
 //   - the Sec. VI extension problems (MaxBulk, MaxUnderBudget, AdmitFiles);
 //   - the online simulator and the experiment driver regenerating the
 //     paper's evaluation figures (Run, RunFigure);
-//   - workload generators and reproducible traces.
+//   - workload generators and reproducible traces;
+//   - the admission daemon behind cmd/postcard-server (NewServer), with
+//     snapshot/restore of the full solver state — ledger, reservations,
+//     open batch, and simplex basis — for bit-identical resumes
+//     (LedgerFromSnapshot, RestoreAdmissionController, RestoreServer).
 //
 // A minimal end-to-end use:
 //
@@ -40,6 +44,7 @@ import (
 	"github.com/interdc/postcard/internal/lp"
 	"github.com/interdc/postcard/internal/netmodel"
 	"github.com/interdc/postcard/internal/schedule"
+	"github.com/interdc/postcard/internal/server"
 	"github.com/interdc/postcard/internal/sim"
 	"github.com/interdc/postcard/internal/stats"
 	"github.com/interdc/postcard/internal/timegraph"
@@ -175,6 +180,36 @@ type (
 	// allocates from: per-link per-slot capacity holds layered over a
 	// charging Ledger, never metered until committed.
 	Reservations = netmodel.Reservations
+)
+
+// Snapshot types: the serializable state of each stateful layer. All four
+// round-trip through JSON bit-exactly, so a process restored from them
+// resumes its remaining horizon with identical decisions.
+type (
+	// LedgerSnapshot is the committed per-link traffic history of a Ledger.
+	LedgerSnapshot = netmodel.LedgerSnapshot
+	// ReservationsSnapshot is the fast tier's uncommitted capacity holds.
+	ReservationsSnapshot = netmodel.ReservationsSnapshot
+	// SolverSnapshot is an IncrementalSolver's warm state (basis and
+	// model-variable keys) plus its cumulative counters.
+	SolverSnapshot = core.SolverSnapshot
+	// AdmissionSnapshot is an AdmissionController's full state: the open
+	// batch, its reservations, and the background solver's snapshot.
+	AdmissionSnapshot = admission.ControllerSnapshot
+)
+
+// Server types: the HTTP/JSON admission daemon behind cmd/postcard-server,
+// embeddable as a library.
+type (
+	// Server is the admission daemon state machine; Server.Handler returns
+	// its HTTP mux.
+	Server = server.Server
+	// ServerConfig parameterizes a Server.
+	ServerConfig = server.Config
+	// ServerSnapshot is a Server's full serializable state.
+	ServerSnapshot = server.Snapshot
+	// PlanRecord is the daemon's queryable per-transfer state.
+	PlanRecord = server.PlanRecord
 )
 
 // Workload types.
@@ -395,6 +430,32 @@ func NewAdmissionController(ledger *Ledger, cfg *AdmissionConfig) (*AdmissionCon
 // NewReservations creates an empty reservation view over the ledger.
 func NewReservations(ledger *Ledger) *Reservations {
 	return netmodel.NewReservations(ledger)
+}
+
+// LedgerFromSnapshot rebuilds a ledger over nw from a snapshot taken with
+// Ledger.Snapshot, validating every volume against the network.
+func LedgerFromSnapshot(nw *Network, snap *LedgerSnapshot) (*Ledger, error) {
+	return netmodel.LedgerFromSnapshot(nw, snap)
+}
+
+// RestoreAdmissionController rebuilds an admission controller over the
+// ledger from a snapshot taken with AdmissionController.Snapshot: the open
+// batch, its reservations, and the background solver's warm basis resume
+// exactly where the snapshot left off.
+func RestoreAdmissionController(ledger *Ledger, cfg *AdmissionConfig, snap *AdmissionSnapshot) (*AdmissionController, error) {
+	return admission.RestoreController(ledger, cfg, snap)
+}
+
+// NewServer builds the admission daemon over a fresh ledger. Serve its
+// HTTP surface with http.Serve(listener, srv.Handler()).
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// RestoreServer rebuilds a daemon from a snapshot taken with
+// Server.Snapshot; the restored instance resumes the remaining horizon
+// bit-identically to the uninterrupted run. cfg.Network is ignored — the
+// topology is rebuilt from the snapshot.
+func RestoreServer(cfg ServerConfig, snap *ServerSnapshot) (*Server, error) {
+	return server.Restore(cfg, snap)
 }
 
 // NewDiurnalWorkload creates a day/night-modulated workload generator.

@@ -1,0 +1,163 @@
+#!/usr/bin/env bash
+# server_smoke.sh — end-to-end smoke test of the postcard-server daemon.
+#
+# The script runs the same workload twice and demands identical counters:
+#
+#   1. reference: postcard-sim with the sequential postcard-fast scheduler,
+#      recording the workload trace and the generated network instance;
+#   2. daemon: postcard-server booted on that instance with
+#      -republish-on-commit-only (one LP solve per non-empty slot — the
+#      exact solve sequence of the sequential scheduler), the trace
+#      replayed over HTTP slot by slot, /metrics scraped at the end.
+#
+# The admission counters (admits, rejects, republishes, fast cost,
+# republish delta), the LP solve/iteration counts, and the final cost per
+# slot scraped from /metrics must match the reference run exactly.
+#
+# The script then exercises snapshot/restore: the daemon writes a snapshot
+# mid-horizon, is killed, restarts from the snapshot, and finishes the
+# trace — the final cost must again match the uninterrupted reference.
+#
+# Usage:  scripts/server_smoke.sh
+# Env:    SMOKE_PORT   listen port (default 18931)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${SMOKE_PORT:-18931}"
+ADDR="127.0.0.1:$PORT"
+DCS=4
+SLOTS=6
+CAPACITY=200
+SEED=7
+
+tmp="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== building =="
+go build -o "$tmp/bin/" ./cmd/postcard-sim ./cmd/postcard-server
+
+echo "== reference run (sequential postcard-fast) =="
+"$tmp/bin/postcard-sim" -dcs $DCS -slots $SLOTS -capacity $CAPACITY -seed $SEED \
+  -scheduler postcard-fast \
+  -trace-out "$tmp/trace.json" -instance-out "$tmp/instance.json" \
+  | tee "$tmp/reference.txt"
+
+# Reference counters out of the human-readable report.
+# A drop-free workload is required: on a rejection the simulation engine
+# sheds a file and re-admits the rest of the batch, a retry loop the HTTP
+# replay does not reproduce.
+if ! grep -q 'files dropped:    0 ' "$tmp/reference.txt"; then
+  echo "reference run dropped files; raise CAPACITY or change SEED" >&2
+  exit 1
+fi
+
+ref_admits=$(awk '/fast admissions:/ {print $3}' "$tmp/reference.txt")
+ref_rejects=$(awk '/fast admissions:/ {print $5}' "$tmp/reference.txt")
+ref_republishes=$(awk '/fast admissions:/ {print $7}' "$tmp/reference.txt")
+ref_solves=$(awk '/lp solves:/ {print $3}' "$tmp/reference.txt")
+ref_iters=$(awk '/lp iterations:/ {print $3}' "$tmp/reference.txt")
+ref_cost=$(awk '/final cost\/slot:/ {print $3}' "$tmp/reference.txt")
+
+start_server() { # args: extra flags...
+  "$tmp/bin/postcard-server" -listen "$ADDR" -q 100 -period $SLOTS \
+    -republish-on-commit-only -snapshot "$tmp/state.json" "$@" \
+    >>"$tmp/server.log" 2>&1 &
+  server_pid=$!
+  for _ in $(seq 1 50); do
+    curl -sf "http://$ADDR/v1/status" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "server did not come up; log:" >&2
+  cat "$tmp/server.log" >&2
+  exit 1
+}
+
+# replay_slots FROM TO — admit each trace file at its release slot over
+# HTTP, closing each slot with POST /v1/slots/advance.
+replay_slots() {
+  python3 - "$tmp/trace.json" "$1" "$2" "$ADDR" <<'EOF'
+import json, sys, urllib.request
+
+trace, lo, hi, addr = sys.argv[1], int(sys.argv[2]), int(sys.argv[3]), sys.argv[4]
+files = json.load(open(trace))["files"]
+
+def post(path, body):
+    req = urllib.request.Request(f"http://{addr}{path}", method="POST",
+                                 data=json.dumps(body).encode(),
+                                 headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req) as r:
+            return r.status, json.load(r)
+    except urllib.error.HTTPError as e:
+        return e.code, json.load(e)
+
+for slot in range(lo, hi):
+    for f in files:
+        if f["Release"] != slot:
+            continue
+        code, resp = post("/v1/transfers", {
+            "src": f["Src"], "dst": f["Dst"], "size_gb": f["Size"],
+            "deadline": f["Deadline"], "release": f["Release"],
+        })
+        if code not in (200, 422):
+            raise SystemExit(f"slot {slot}: admit returned {code}: {resp}")
+    code, resp = post("/v1/slots/advance", {})
+    if code != 200:
+        raise SystemExit(f"advance returned {code}: {resp}")
+EOF
+}
+
+metric() { # args: name
+  awk -v m="$1" '$1 == m {print $2}' "$tmp/metrics.txt"
+}
+
+check() { # args: label got want
+  if [ "$2" != "$3" ]; then
+    echo "MISMATCH $1: daemon $2 != reference $3" >&2
+    exit 1
+  fi
+  echo "   $1: $2 == $3"
+}
+
+echo "== daemon run (trace over HTTP) =="
+start_server -instance "$tmp/instance.json"
+replay_slots 0 $SLOTS
+curl -sf "http://$ADDR/metrics" >"$tmp/metrics.txt"
+kill "$server_pid" && wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+echo "== diffing /metrics against the reference run =="
+check admits       "$(metric postcard_admission_admits_total)"       "$ref_admits"
+check rejects      "$(metric postcard_admission_rejects_total)"      "$ref_rejects"
+check republishes  "$(metric postcard_admission_republishes_total)"  "$ref_republishes"
+check lp-solves    "$(metric postcard_solver_solves_total)"          "$ref_solves"
+check lp-iters     "$(metric postcard_solver_iterations_total)"      "$ref_iters"
+daemon_cost=$(printf '%.2f' "$(metric postcard_cost_per_slot)")
+check cost/slot    "$daemon_cost" "$ref_cost"
+
+echo "== kill/restart from snapshot mid-horizon =="
+CUT=$((SLOTS / 2))
+start_server -instance "$tmp/instance.json"
+replay_slots 0 $CUT
+curl -sf -X POST "http://$ADDR/v1/snapshot" >/dev/null
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+start_server -restore "$tmp/state.json"
+replay_slots $CUT $SLOTS
+curl -sf "http://$ADDR/metrics" >"$tmp/metrics.txt"
+kill "$server_pid" && wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+restart_cost=$(printf '%.2f' "$(metric postcard_cost_per_slot)")
+check restart-cost/slot "$restart_cost" "$ref_cost"
+check restart-admits    "$(metric postcard_admission_admits_total)"  "$ref_admits"
+check restart-rejects   "$(metric postcard_admission_rejects_total)" "$ref_rejects"
+
+echo "server smoke: OK"
