@@ -79,6 +79,10 @@ func benchFigure(b *testing.B, figure int, scale postcard.Scale, mkSchedulers fu
 			b.ReportMetric(float64(s.Solver.ColGenColumns), s.Name+"-colgen-cols")
 			b.ReportMetric(100*float64(s.Solver.ColGenColumns)/float64(s.Solver.ColGenUniverse), s.Name+"-colgen-gen%")
 		}
+		if s.Solver.PathSolves > 0 {
+			b.ReportMetric(float64(s.Solver.ColGenRows), s.Name+"-lazy-rows")
+			b.ReportMetric(float64(s.Solver.PathFallbacks), s.Name+"-path-fallbacks")
+		}
 	}
 }
 
@@ -111,6 +115,42 @@ func BenchmarkFig4WarmStart(b *testing.B) {
 		}
 	})
 }
+
+// benchDCScaling runs the Fig. 4 setting on a growing overlay with a fixed
+// file stream (see DCScale): Dantzig-Wolfe path pricing versus the
+// warm-started arc solver on identical traces. The per-scheduler metrics
+// expose where the time goes — the two ns/op series across DC16/DC64/DC128
+// are the PR 9 scaling figure. Past 16 DCs the arc model's universe blows
+// up while the path master only materializes the columns it prices, so the
+// gap widens with scale.
+func benchDCScaling(b *testing.B, dcs int, schedNames ...string) {
+	scale := postcard.DCScale(dcs)
+	benchFigure(b, 4, scale, func() []postcard.Scheduler {
+		scheds := make([]postcard.Scheduler, len(schedNames))
+		for i, name := range schedNames {
+			s, err := postcard.SchedulerByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scheds[i] = s
+		}
+		return scheds
+	})
+}
+
+// BenchmarkFig4DC16 is the small end of the scaling study; both pricing
+// modes are fast here and the arc solver may still win.
+func BenchmarkFig4DC16(b *testing.B) { benchDCScaling(b, 16, "postcard-path", "postcard-warm") }
+
+// BenchmarkFig4DC64 is the mid point: path pricing holds per-slot solves in
+// the hundreds of milliseconds while the arc model is already paying for
+// its full column universe.
+func BenchmarkFig4DC64(b *testing.B) { benchDCScaling(b, 64, "postcard-path", "postcard-warm") }
+
+// BenchmarkFig4DC128 is the 100+ DC target regime of PR 9. Only the path
+// master runs — the arc model's universe is out of benchmark budget here,
+// which is the point of the redesign.
+func BenchmarkFig4DC128(b *testing.B) { benchDCScaling(b, 128, "postcard-path") }
 
 // BenchmarkFig5 regenerates Fig. 5: ample capacity, delay-tolerant files
 // (T = 8). Both schedulers get cheaper than Fig. 4.

@@ -9,6 +9,7 @@
 //	postcard-figs -fig 6           # just Fig. 6
 //	postcard-figs -scale paper     # the paper's full 20-DC, 100-slot, 10-run scale
 //	postcard-figs -schedulers postcard,flow-based,flow-greedy,direct
+//	postcard-figs -schedulers help # list every registered scheduler
 //	postcard-figs -csv out/        # also write per-slot cost series as CSV
 //	postcard-figs -workers 1       # force sequential execution
 //
@@ -18,15 +19,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
-	"strings"
 
 	"github.com/interdc/postcard"
-	"github.com/interdc/postcard/internal/profiling"
+	"github.com/interdc/postcard/internal/cliutil"
 )
 
 func main() {
@@ -39,7 +40,7 @@ func main() {
 func run() (err error) {
 	fig := flag.Int("fig", 0, "figure to regenerate (4-7), 0 = all")
 	scaleName := flag.String("scale", "ci", "experiment scale: ci | paper")
-	schedList := flag.String("schedulers", "postcard,flow-based", "comma-separated scheduler list: postcard, postcard-warm, postcard-fast, postcard-fast-only, flow-based, flow-two-phase, flow-greedy, direct, postcard-nostore")
+	schedList := flag.String("schedulers", "postcard,flow-based", cliutil.SchedulerFlagUsage)
 	csvDir := flag.String("csv", "", "directory to write per-slot cost series CSVs into")
 	uniformDeadline := flag.Bool("uniform-deadline", false, "draw deadlines from U[1, maxT] instead of fixing them at maxT")
 	runs := flag.Int("runs", 0, "override number of runs")
@@ -48,11 +49,18 @@ func run() (err error) {
 	filesMax := flag.Int("files-max", 0, "override maximum files per slot")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel (run, scheduler) simulation cells; 1 = sequential (output is identical either way)")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	prof := cliutil.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 
-	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	schedulers, err := cliutil.ParseSchedulers(*schedList)
+	if errors.Is(err, cliutil.ErrSchedulerHelp) {
+		fmt.Print(cliutil.SchedulerHelp())
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	stopProf, err := prof.Start()
 	if err != nil {
 		return err
 	}
@@ -83,15 +91,10 @@ func run() (err error) {
 	if *filesMax > 0 {
 		scale.FilesMax = *filesMax
 	}
-	if *workers < 1 {
-		return fmt.Errorf("-workers must be >= 1, got %d", *workers)
-	}
-	scale.Workers = *workers
-
-	schedulers, err := parseSchedulers(*schedList)
-	if err != nil {
+	if err := cliutil.ValidateWorkers(*workers); err != nil {
 		return err
 	}
+	scale.Workers = *workers
 
 	var settings []postcard.EvalSetting
 	if *fig == 0 {
@@ -138,23 +141,4 @@ func run() (err error) {
 		}
 	}
 	return nil
-}
-
-func parseSchedulers(list string) ([]postcard.Scheduler, error) {
-	var out []postcard.Scheduler
-	for _, name := range strings.Split(list, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		s, err := postcard.SchedulerByName(name)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no schedulers given")
-	}
-	return out, nil
 }

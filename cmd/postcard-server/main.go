@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/interdc/postcard/internal/cliutil"
 	"github.com/interdc/postcard/internal/netmodel"
 	"github.com/interdc/postcard/internal/server"
 )
@@ -49,7 +50,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	instancePath := flag.String("instance", "", "topology/pricing instance JSON (required unless -restore)")
 	restorePath := flag.String("restore", "", "resume from a snapshot written by -snapshot or POST /v1/snapshot")
 	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
@@ -60,7 +61,18 @@ func run() error {
 	drain := flag.String("drain", "commit", "shutdown policy for the open batch: commit | rollback")
 	noRepublish := flag.Bool("no-republish", false, "disable the LP republisher entirely")
 	commitOnly := flag.Bool("republish-on-commit-only", false, "republish only when a slot commits (one LP solve per slot, bit-comparable to a sequential postcard-fast run)")
+	prof := cliutil.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	var rollback bool
 	switch *drain {
@@ -147,7 +159,7 @@ func run() error {
 }
 
 func loadNetwork(path string) (*netmodel.Network, error) {
-	inst, err := readInstance(path)
+	inst, err := cliutil.ReadInstanceFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -159,18 +171,9 @@ func loadNetwork(path string) (*netmodel.Network, error) {
 }
 
 func reloadPricing(srv *server.Server, path string) error {
-	inst, err := readInstance(path)
+	inst, err := cliutil.ReadInstanceFile(path)
 	if err != nil {
 		return err
 	}
 	return srv.ReloadPricing(inst)
-}
-
-func readInstance(path string) (*netmodel.Instance, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return netmodel.ReadInstance(f)
 }

@@ -11,11 +11,13 @@
 //	postcard-sim -dcs 8 -slots 20 -capacity 30 -maxt 8 -scheduler postcard
 //	postcard-sim -scheduler flow-based -csv costs.csv
 //	postcard-sim -scheduler postcard,flow-based,direct -workers 4
+//	postcard-sim -scheduler help            # list every registered scheduler
 //	postcard-sim -trace-out trace.json      # save the workload for replay
 //	postcard-sim -trace-in trace.json       # replay a saved workload
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,7 +26,7 @@ import (
 	"sync"
 
 	"github.com/interdc/postcard"
-	"github.com/interdc/postcard/internal/profiling"
+	"github.com/interdc/postcard/internal/cliutil"
 )
 
 func main() {
@@ -44,20 +46,27 @@ func run() (err error) {
 	sizeMin := flag.Float64("size-min", 10, "minimum file size, GB")
 	sizeMax := flag.Float64("size-max", 100, "maximum file size, GB")
 	seed := flag.Int64("seed", 1, "random seed (prices and workload)")
-	schedNames := flag.String("scheduler", "postcard", "comma-separated list: postcard | postcard-warm | postcard-fast | postcard-fast-only | postcard-nostore | flow-based | flow-two-phase | flow-greedy | direct")
+	schedNames := flag.String("scheduler", "postcard", cliutil.SchedulerFlagUsage)
 	workers := flag.Int("workers", runtime.NumCPU(), "schedulers simulated concurrently (each on its own ledger)")
 	csvOut := flag.String("csv", "", "write the per-slot cost series to this CSV file (one column per scheduler)")
 	traceOut := flag.String("trace-out", "", "record the generated workload to this JSON file")
 	instanceOut := flag.String("instance-out", "", "write the generated network as an instance JSON file (e.g. for postcard-server)")
 	traceIn := flag.String("trace-in", "", "replay a workload recorded with -trace-out")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	prof := cliutil.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *workers < 1 {
-		return fmt.Errorf("-workers must be >= 1, got %d", *workers)
+	scheds, err := cliutil.ParseSchedulers(*schedNames)
+	if errors.Is(err, cliutil.ErrSchedulerHelp) {
+		fmt.Print(cliutil.SchedulerHelp())
+		return nil
 	}
-	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	if err := cliutil.ValidateWorkers(*workers); err != nil {
+		return err
+	}
+	stopProf, err := prof.Start()
 	if err != nil {
 		return err
 	}
@@ -73,15 +82,7 @@ func run() (err error) {
 	}
 
 	if *instanceOut != "" {
-		f, err := os.Create(*instanceOut)
-		if err != nil {
-			return err
-		}
-		if err := postcard.InstanceOf(nw, nil).WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := cliutil.WriteInstanceFile(*instanceOut, postcard.InstanceOf(nw, nil)); err != nil {
 			return err
 		}
 		fmt.Printf("instance written to %s\n", *instanceOut)
@@ -89,12 +90,7 @@ func run() (err error) {
 
 	var trace *postcard.Trace
 	if *traceIn != "" {
-		f, err := os.Open(*traceIn)
-		if err != nil {
-			return err
-		}
-		trace, err = postcard.ReadTrace(f)
-		f.Close()
+		trace, err = cliutil.ReadTraceFile(*traceIn)
 		if err != nil {
 			return err
 		}
@@ -113,35 +109,11 @@ func run() (err error) {
 		}
 		trace = postcard.RecordTrace(uni, *slots)
 		if *traceOut != "" {
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				return err
-			}
-			if err := trace.WriteJSON(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
+			if err := cliutil.WriteTraceFile(*traceOut, trace); err != nil {
 				return err
 			}
 			fmt.Printf("workload trace written to %s\n", *traceOut)
 		}
-	}
-
-	var scheds []postcard.Scheduler
-	for _, name := range strings.Split(*schedNames, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		s, err := postcard.SchedulerByName(name)
-		if err != nil {
-			return err
-		}
-		scheds = append(scheds, s)
-	}
-	if len(scheds) == 0 {
-		return fmt.Errorf("no schedulers given")
 	}
 
 	// Every scheduler replays the identical immutable trace on its own
@@ -201,6 +173,10 @@ func run() (err error) {
 					100*float64(sv.SparseSolves)/float64(tot), sv.SparseSolves, tot, density)
 				fmt.Printf("lp pricing:       %d devex resets, %d dual recomputes\n",
 					sv.DevexResets, sv.DualRecomputes)
+			}
+			if sv.PathSolves > 0 {
+				fmt.Printf("path pricing:     %d solves, %d fallbacks, %d lazy rows, %d columns\n",
+					sv.PathSolves, sv.PathFallbacks, sv.ColGenRows, sv.ColGenColumns)
 			}
 		}
 		if sv := rs.Solver; sv.Admits+sv.Rejects > 0 {

@@ -21,13 +21,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
 	"github.com/interdc/postcard"
-	"github.com/interdc/postcard/internal/profiling"
+	"github.com/interdc/postcard/internal/cliutil"
 )
 
 func main() {
@@ -39,14 +39,17 @@ func main() {
 
 func run() (err error) {
 	input := flag.String("input", "", "instance JSON file ('-' for stdin; empty = built-in Fig. 3 example)")
-	scheduler := flag.String("scheduler", "postcard", "postcard | postcard-warm | postcard-fast | postcard-fast-only | flow | flow-two-phase | flow-greedy | direct")
+	scheduler := flag.String("scheduler", "postcard", `scheduler name ("help" lists all; "flow" is a legacy alias for flow-based)`)
 	dotOut := flag.String("dot", "", "write the time-expanded graph in DOT format to this file")
 	jsonOut := flag.Bool("json", false, "emit the plan as JSON instead of text")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	prof := cliutil.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 
-	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if *scheduler == "help" {
+		fmt.Print(cliutil.SchedulerHelp())
+		return nil
+	}
+	stopProf, err := prof.Start()
 	if err != nil {
 		return err
 	}
@@ -134,6 +137,10 @@ func run() (err error) {
 				lpRes.ColGenRounds, lpRes.ColGenColumns, lpRes.ColGenUniverse,
 				100*float64(lpRes.ColGenColumns)/float64(lpRes.ColGenUniverse))
 		}
+		if lpRes.ColGenRows > 0 || lpRes.PathFallbacks > 0 {
+			fmt.Printf("lp path pricing: %d lazy rows, %d arc fallbacks\n",
+				lpRes.ColGenRows, lpRes.PathFallbacks)
+		}
 	}
 	return nil
 }
@@ -142,18 +149,7 @@ func loadInstance(path string) (*postcard.Network, []postcard.File, error) {
 	if path == "" {
 		return defaultInstance()
 	}
-	var r io.Reader
-	if path == "-" {
-		r = os.Stdin
-	} else {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, nil, fmt.Errorf("reading instance: %w", err)
-		}
-		defer f.Close()
-		r = f
-	}
-	inst, err := postcard.ReadInstance(r)
+	inst, err := cliutil.ReadInstanceFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -169,6 +165,9 @@ func defaultInstance() (*postcard.Network, []postcard.File, error) {
 }
 
 func solve(name string, ledger *postcard.Ledger, files []postcard.File, slot int) (*postcard.Schedule, float64, postcard.SolveStatus, *postcard.Result, error) {
+	if name == "flow" {
+		name = "flow-based" // legacy alias from before the registry
+	}
 	switch name {
 	case "postcard":
 		res, err := postcard.Solve(ledger, files, slot, nil)
@@ -181,6 +180,14 @@ func solve(name string, ledger *postcard.Ledger, files []postcard.File, slot int
 		// for a single solve (the cache is empty), provided for parity with
 		// the simulator's scheduler names.
 		res, err := postcard.NewIncrementalSolver(nil).Solve(ledger, files, slot)
+		if err != nil {
+			return nil, 0, 0, nil, err
+		}
+		return res.Schedule, res.CostPerSlot, res.Status, res, nil
+	case "postcard-path":
+		// Offline solve under Dantzig-Wolfe path pricing; the result carries
+		// the path-oracle counters alongside the usual LP stats.
+		res, err := postcard.New(postcard.WithPricing(postcard.PricingPath)).Solve(ledger, files, slot)
 		if err != nil {
 			return nil, 0, 0, nil, err
 		}
@@ -218,31 +225,25 @@ func solve(name string, ledger *postcard.Ledger, files []postcard.File, slot int
 			return nil, 0, 0, nil, err
 		}
 		return plan, trial.CostPerSlot(), postcard.StatusOptimal, nil, nil
-	case "flow":
-		res, err := postcard.FlowSolve(ledger, files, slot, nil)
-		if err != nil {
-			return nil, 0, 0, nil, err
-		}
-		return res.Schedule, res.CostPerSlot, res.Status, nil, nil
-	case "flow-two-phase":
-		res, err := postcard.FlowTwoPhaseSolve(ledger, files, slot, nil)
-		if err != nil {
-			return nil, 0, 0, nil, err
-		}
-		return res.Schedule, res.CostPerSlot, res.Status, nil, nil
-	case "flow-greedy":
-		res, err := postcard.FlowGreedySolve(ledger, files, slot)
-		if err != nil {
-			return nil, 0, 0, nil, err
-		}
-		return res.Schedule, res.CostPerSlot, res.Status, nil, nil
-	case "direct":
-		res, err := postcard.FlowDirectSolve(ledger, files, slot)
-		if err != nil {
-			return nil, 0, 0, nil, err
-		}
-		return res.Schedule, res.CostPerSlot, res.Status, nil, nil
-	default:
-		return nil, 0, 0, nil, fmt.Errorf("unknown scheduler %q", name)
 	}
+	// Everything else — the flow baselines, direct, postcard-nostore, and
+	// any future registry entry — resolves through the scheduler registry
+	// and is run one-shot: plan the slot, then price the plan on a trial
+	// ledger. Unknown names fail here with the registry's name listing.
+	sched, err := postcard.SchedulerByName(name)
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	plan, err := sched.Schedule(ledger, files, slot)
+	if errors.Is(err, postcard.ErrInfeasible) {
+		return nil, 0, postcard.StatusInfeasible, nil, err
+	}
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	trial := ledger.Clone()
+	if err := plan.Apply(trial); err != nil {
+		return nil, 0, 0, nil, err
+	}
+	return plan, trial.CostPerSlot(), postcard.StatusOptimal, nil, nil
 }

@@ -37,10 +37,9 @@ func TestLoadInstanceMissingFile(t *testing.T) {
 }
 
 func TestSolveDispatch(t *testing.T) {
-	for _, name := range postcard.SchedulerNames() {
-		if name == "postcard-nostore" {
-			continue // not an offline solve mode
-		}
+	// Every registry name must solve offline, plus the legacy "flow" alias.
+	names := append(postcard.SchedulerNames(), "flow")
+	for _, name := range names {
 		nw, files, err := loadInstance("testdata/relay.json")
 		if err != nil {
 			t.Fatal(err)
@@ -49,21 +48,17 @@ func TestSolveDispatch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mode := name
-		if name == "flow-based" {
-			mode = "flow"
-		}
-		plan, cost, status, _, err := solve(mode, ledger, files, 0)
+		plan, cost, status, _, err := solve(name, ledger, files, 0)
 		if err != nil {
-			t.Errorf("%s: %v", mode, err)
+			t.Errorf("%s: %v", name, err)
 			continue
 		}
 		if status != postcard.StatusOptimal {
-			t.Errorf("%s: status %v", mode, status)
+			t.Errorf("%s: status %v", name, status)
 			continue
 		}
 		if plan.Len() == 0 || cost <= 0 {
-			t.Errorf("%s: empty plan or cost %v", mode, cost)
+			t.Errorf("%s: empty plan or cost %v", name, cost)
 		}
 	}
 	if _, _, _, _, err := solve("bogus", nil, nil, 0); err == nil {

@@ -1,0 +1,138 @@
+package postcard_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/interdc/postcard"
+)
+
+// TestClientOptionsMatchSolve pins the functional-options client against
+// the plain Solve surface: a zero-option client must reproduce the default
+// solve exactly, and a path-pricing client must agree on the objective.
+func TestClientOptionsMatchSolve(t *testing.T) {
+	build := func() (*postcard.Ledger, []postcard.File) {
+		nw, files, err := postcard.Fig3Topology(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ledger, err := postcard.NewLedger(nw, postcard.MaxCharging(100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ledger, files
+	}
+
+	ledger, files := build()
+	ref, err := postcard.Solve(ledger, files, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ledger, files = build()
+	got, err := postcard.New().Solve(ledger, files, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != ref.Status || got.CostPerSlot != ref.CostPerSlot {
+		t.Errorf("zero-option client: status %v cost %v, plain Solve %v %v",
+			got.Status, got.CostPerSlot, ref.Status, ref.CostPerSlot)
+	}
+
+	for _, c := range []*postcard.Client{
+		postcard.New(postcard.WithPricing(postcard.PricingPath)),
+		postcard.New(postcard.WithPricing(postcard.PricingPath), postcard.WithPricingWorkers(2)),
+		postcard.New(postcard.WithPricing(postcard.PricingPath), postcard.WithWarmStart()),
+	} {
+		ledger, files = build()
+		res, err := c.Solve(ledger, files, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != ref.Status {
+			t.Fatalf("path client: status %v, want %v", res.Status, ref.Status)
+		}
+		if tol := 1e-3 * (1 + math.Abs(ref.CostPerSlot)); math.Abs(res.CostPerSlot-ref.CostPerSlot) > tol {
+			t.Errorf("path client: cost %v, want %v", res.CostPerSlot, ref.CostPerSlot)
+		}
+	}
+
+	cfg := postcard.New(postcard.WithStoragePolicy(postcard.StorageNone), postcard.WithEpsilon(1e-5)).Config()
+	if cfg.Storage != postcard.StorageNone || cfg.Epsilon != 1e-5 {
+		t.Errorf("options not reflected in Config(): %+v", cfg)
+	}
+}
+
+// TestSchedulerRegistry checks that every registry entry builds a working
+// scheduler whose Name matches its registry name, and that SchedulerByName
+// agrees with the registry.
+func TestSchedulerRegistry(t *testing.T) {
+	infos := postcard.Schedulers()
+	if len(infos) == 0 {
+		t.Fatal("empty scheduler registry")
+	}
+	seen := make(map[string]bool)
+	for _, info := range infos {
+		if info.Name == "" || info.Description == "" || info.New == nil {
+			t.Fatalf("incomplete registry entry %+v", info)
+		}
+		if seen[info.Name] {
+			t.Fatalf("duplicate registry name %q", info.Name)
+		}
+		seen[info.Name] = true
+		s := info.New()
+		if s.Name() != info.Name {
+			t.Errorf("registry %q builds scheduler named %q", info.Name, s.Name())
+		}
+		byName, err := postcard.SchedulerByName(info.Name)
+		if err != nil {
+			t.Errorf("SchedulerByName(%q): %v", info.Name, err)
+		} else if byName.Name() != info.Name {
+			t.Errorf("SchedulerByName(%q) builds %q", info.Name, byName.Name())
+		}
+	}
+	for _, name := range postcard.SchedulerNames() {
+		if !seen[name] {
+			t.Errorf("SchedulerNames lists %q, absent from registry", name)
+		}
+	}
+	if !seen["postcard-path"] {
+		t.Error("registry is missing the postcard-path scheduler")
+	}
+	if _, err := postcard.SchedulerByName("no-such-scheduler"); err == nil {
+		t.Error("SchedulerByName accepted an unknown name")
+	}
+}
+
+// TestClientScheduler runs a registry path scheduler through one CI-scale
+// figure cell to confirm the facade wiring end to end.
+func TestClientScheduler(t *testing.T) {
+	setting, err := postcard.SettingByFigure(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := postcard.CIScale()
+	scale.Runs = 1
+	sched, err := postcard.SchedulerByName("postcard-path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := postcard.RunFigure(postcard.FigureConfig{
+		Setting:    setting,
+		Scale:      scale,
+		Schedulers: []postcard.Scheduler{sched, postcard.New(postcard.WithWarmStart()).Scheduler()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulers[0].Solver.PathSolves == 0 {
+		t.Error("postcard-path scheduler recorded no path solves")
+	}
+	// Per-slot objectives agree exactly (see the sim package's shared-ledger
+	// gate); the committed plans may sit on different vertices of the same
+	// optimal face, so online trajectories drift slightly — bound it.
+	path, arc := res.Schedulers[0].Final.Mean, res.Schedulers[1].Final.Mean
+	if math.Abs(path-arc) > 0.05*(1+math.Abs(arc)) {
+		t.Errorf("path scheduler mean cost %v strayed from warm arc %v", path, arc)
+	}
+}

@@ -1,0 +1,105 @@
+package cliutil
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/interdc/postcard"
+)
+
+func TestParseSchedulers(t *testing.T) {
+	scheds, err := ParseSchedulers(" postcard , flow-based,,postcard-path ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(scheds))
+	for i, s := range scheds {
+		got[i] = s.Name()
+	}
+	if want := "postcard flow-based postcard-path"; strings.Join(got, " ") != want {
+		t.Errorf("parsed %q, want %q", got, want)
+	}
+
+	if _, err := ParseSchedulers("postcard,help"); !errors.Is(err, ErrSchedulerHelp) {
+		t.Errorf("help in list: err = %v, want ErrSchedulerHelp", err)
+	}
+	if _, err := ParseSchedulers(""); err == nil {
+		t.Error("empty list should error")
+	}
+	if _, err := ParseSchedulers("no-such"); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestSchedulerHelpListsRegistry(t *testing.T) {
+	help := SchedulerHelp()
+	for _, info := range postcard.Schedulers() {
+		if !strings.Contains(help, info.Name) || !strings.Contains(help, info.Description) {
+			t.Errorf("help output is missing %q", info.Name)
+		}
+	}
+}
+
+func TestInstanceAndTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	nw, files, err := postcard.Fig3Topology(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instPath := filepath.Join(dir, "inst.json")
+	if err := WriteInstanceFile(instPath, postcard.InstanceOf(nw, files)); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := ReadInstanceFile(instPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2, files2, err := inst.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw2.NumDCs() != nw.NumDCs() || len(files2) != len(files) {
+		t.Errorf("instance round trip lost data: %d DCs, %d files", nw2.NumDCs(), len(files2))
+	}
+	if _, err := ReadInstanceFile(filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing instance file should error")
+	}
+
+	gen, err := postcard.NewUniformWorkload(postcard.UniformWorkloadConfig{
+		NumDCs: 4, MinFiles: 1, MaxFiles: 2, MinSizeGB: 1, MaxSizeGB: 10,
+		MaxDeadline: 3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := postcard.RecordTrace(gen, 3)
+	tracePath := filepath.Join(dir, "trace.json")
+	if err := WriteTraceFile(tracePath, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 3; slot++ {
+		a, b := trace.Replay().FilesAt(slot), got.Replay().FilesAt(slot)
+		if len(a) != len(b) {
+			t.Fatalf("slot %d: %d files round-tripped to %d", slot, len(a), len(b))
+		}
+	}
+	if _, err := ReadTraceFile(filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing trace file should error")
+	}
+}
+
+func TestValidateWorkers(t *testing.T) {
+	if err := ValidateWorkers(1); err != nil {
+		t.Errorf("workers=1: %v", err)
+	}
+	if err := ValidateWorkers(0); err == nil {
+		t.Error("workers=0 should error")
+	}
+}

@@ -1,0 +1,753 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/interdc/postcard/internal/lp"
+	"github.com/interdc/postcard/internal/netmodel"
+	"github.com/interdc/postcard/internal/schedule"
+	"github.com/interdc/postcard/internal/timegraph"
+)
+
+// PricingMode selects how the per-file routing polytope enters the LP.
+type PricingMode int
+
+// Pricing modes.
+const (
+	// PricingArc is the PR 5 formulation: per-(file, edge) flow variables
+	// under per-node conservation rows, with delayed per-arc column
+	// generation. Exact and fast at paper scale (≤ ~16 DCs).
+	PricingArc PricingMode = iota
+	// PricingPath is the Dantzig–Wolfe decomposition for 100+ DC scale:
+	// one convexity (demand) row per file, whole source→deadline path
+	// columns priced by a per-file shortest-path oracle on the
+	// time-expanded graph, and capacity/charge rows materialized lazily on
+	// first use. The conservation rows — the dominant row class of the arc
+	// model, Θ(files × DCs × deadline) — disappear entirely, so the
+	// restricted master stays a few hundred rows even on overlays whose
+	// arc model would carry tens of thousands. Exact: generation
+	// terminates only when no path prices attractive, which certifies the
+	// master optimum against the full arc model (see DESIGN.md §11).
+	PricingPath
+)
+
+// pathBigM is the objective coefficient of the per-file artificial columns
+// that keep the restricted path master feasible before enough paths have
+// been generated. Any value dominating the true per-GB marginal delivery
+// cost (bounded by link prices times path length, orders of magnitude
+// smaller) yields the exact optimum; if the instance is genuinely
+// infeasible the artificials stay positive and the caller falls back to an
+// arc-model solve for the authoritative verdict, so exactness never
+// depends on the constant.
+const pathBigM = 1e9
+
+// pathCol records one materialized path column: the model variable, the
+// file it belongs to, and its edge sequence as a range into the builder's
+// shared edge arena.
+type pathCol struct {
+	v          lp.VarID
+	file       int32
+	start, end int32
+}
+
+// pathBuilder assembles and prices the Dantzig–Wolfe path master. It
+// implements lp.PricingOracle: each pricing round runs one shortest-path
+// subproblem per file — fanned across a worker pool, merged back in file
+// order so results are bit-deterministic regardless of worker count — and
+// materializes every attractive path column together with whatever
+// capacity and charge rows its edges touch for the first time.
+type pathBuilder struct {
+	tg     *timegraph.Graph
+	ledger *netmodel.Ledger
+	files  []netmodel.File
+	reach  []timegraph.Reachability
+	conf   Config
+
+	model *lp.Model
+	// demandRow[k] is file k's convexity row (sum of its path columns plus
+	// its artificial equals the file size); artVar[k] the big-M artificial.
+	demandRow []lp.ConID
+	artVar    []lp.VarID
+	// xvars maps link -> charged-volume epigraph column. Unlike the arc
+	// model, X columns materialize lazily with their link's first charge
+	// row: an X with no charge rows sits at its lower bound in every
+	// optimum, so omitting it (and accounting price·ChargedVolume directly
+	// in chargedCost) is exact and keeps the master independent of the
+	// overlay's link count.
+	xvars map[netmodel.Link]lp.VarID
+	// capRow/chargeRow map edge index -> lazily created row (-1 absent).
+	capRow    []lp.ConID
+	chargeRow []lp.ConID
+	// support marks transfer edges inside some file's pruned universe; rows
+	// only ever materialize on support, mirroring the arc model's
+	// row-emission rule exactly.
+	support []bool
+
+	cols    []pathCol
+	arena   []int32
+	seen    map[uint64][]int32 // path hash -> indices into cols
+	colKeys []modelKey
+	rowKeys []modelKey
+
+	// Lazy-dual pricing state. A charge row that is still absent from the
+	// master carries a chosen dual, not necessarily zero: rows tight at zero
+	// path flow (committed slot volume equal to the charged floor — every
+	// edge of an untouched link) are exempt from complementary slackness, so
+	// the certificate may distribute the link's budget — the X column's
+	// reduced cost price + Σ materialized charge duals — across them. That
+	// makes pricing see an untouched link's true marginal cost instead of
+	// zero, which is what keeps the round count flat as the network grows.
+	tight     []bool    // per edge: absent charge row is tight at zero flow
+	blocked   []bool    // per edge: zero residual capacity, excluded outright
+	linkOf    []int     // per edge: dense link id (-1 for storage edges)
+	linkPrice []float64 // per link id: the link's price
+	budget    []float64 // per link id, per round: distributable charge dual
+	absent    []int     // per link id, per round: absent tight charge rows
+	edgeW     []float64 // per edge, per round: transfer-edge pricing weight
+
+	// Per-round pricing scratch: one PathFinder per worker, per-file result
+	// buffers written by the workers and consumed by the serial merge.
+	finders  []timegraph.PathFinder
+	resEdges [][]int32
+	resW     []float64
+	resOK    []bool
+
+	// Extraction scratch: per-edge amounts plus the dirty list.
+	amount []float64
+	dirty  []int32
+
+	rowIdx []lp.VarID
+	rowVal []float64
+	conBuf []lp.ConID
+	cofBuf []float64
+
+	varUniverse int
+	prunedVars  int
+
+	// Round accounting the PriceBatch hook fills in.
+	addedCols, addedRows int
+}
+
+// newPathBuilder prepares a path-master builder, recycling every backing
+// allocation of a previous build when recycle is non-nil (the incremental
+// Solver's steady state).
+func newPathBuilder(recycle *pathBuilder, tg *timegraph.Graph, ledger *netmodel.Ledger, files []netmodel.File, reach []timegraph.Reachability, conf Config) *pathBuilder {
+	pb := recycle
+	if pb == nil {
+		pb = &pathBuilder{
+			model: lp.NewModel(),
+			xvars: make(map[netmodel.Link]lp.VarID),
+			seen:  make(map[uint64][]int32),
+		}
+	} else {
+		pb.model.Reset()
+		clear(pb.xvars)
+		clear(pb.seen)
+		pb.cols = pb.cols[:0]
+		pb.arena = pb.arena[:0]
+		pb.colKeys = pb.colKeys[:0]
+		pb.rowKeys = pb.rowKeys[:0]
+	}
+	pb.tg = tg
+	pb.ledger = ledger
+	pb.files = files
+	pb.reach = reach
+	pb.conf = conf
+	pb.varUniverse, pb.prunedVars = 0, 0
+	return pb
+}
+
+// build assembles the initial restricted master: per-file demand rows with
+// their artificial columns, plus eager charge "floor" rows wherever the
+// ledger's committed volume already exceeds the charged-volume lower bound
+// on a supported edge (possible only under partial-percentile charging,
+// where the lazy-row slackness argument would not hold for them). Path
+// columns, capacity rows and the remaining charge rows all enter lazily
+// through pricing.
+func (pb *pathBuilder) build() error {
+	ne := pb.tg.NumEdges()
+	pb.demandRow = intSlice(pb.demandRow, len(pb.files))
+	pb.artVar = intSlice(pb.artVar, len(pb.files))
+	pb.capRow = intSlice(pb.capRow, ne)
+	pb.chargeRow = intSlice(pb.chargeRow, ne)
+	pb.support = intSlice(pb.support, ne)
+	pb.tight = intSlice(pb.tight, ne)
+	pb.blocked = intSlice(pb.blocked, ne)
+	pb.linkOf = intSlice(pb.linkOf, ne)
+	pb.edgeW = intSlice(pb.edgeW, ne)
+	pb.linkPrice = pb.linkPrice[:0]
+	linkID := make(map[netmodel.Link]int, len(pb.linkPrice))
+	for i := 0; i < ne; i++ {
+		pb.capRow[i], pb.chargeRow[i], pb.support[i] = -1, -1, false
+		pb.linkOf[i] = -1
+	}
+	pb.tg.Edges(func(e timegraph.Edge) {
+		if e.Storage {
+			return
+		}
+		l := netmodel.Link{From: e.From, To: e.To}
+		id, ok := linkID[l]
+		if !ok {
+			id = len(pb.linkPrice)
+			linkID[l] = id
+			pb.linkPrice = append(pb.linkPrice, e.Price)
+		}
+		pb.linkOf[e.Index] = id
+		pb.tight[e.Index] = pb.ledger.VolumeAt(e.From, e.To, e.Slot) >= pb.ledger.ChargedVolume(e.From, e.To)
+		pb.blocked[e.Index] = pb.ledger.Residual(e.From, e.To, e.Slot) <= 0
+	})
+	for k, f := range pb.files {
+		pb.artVar[k] = pb.model.AddVariable(0, math.Inf(1), pathBigM, "")
+		pb.colKeys = append(pb.colKeys, modelKey{kind: kindArt, file: f.ID, from: -1, to: -1, slot: -1})
+		row, err := pb.model.AddConstraint(lp.EQ, f.Size, []lp.VarID{pb.artVar[k]}, []float64{1})
+		if err != nil {
+			return err
+		}
+		pb.demandRow[k] = row
+		pb.rowKeys = append(pb.rowKeys, modelKey{kind: kindDemand, file: f.ID, from: -1, to: -1, slot: -1})
+	}
+	// Universe/support pass: the same per-file window, storage-policy and
+	// reachability filters the arc builder applies, so VarUniverse and
+	// PrunedVars report the identical accounting and rows only ever
+	// materialize where the arc model would have emitted them.
+	for k, f := range pb.files {
+		first, last, ok := pb.tg.FileWindow(f)
+		if !ok {
+			return fmt.Errorf("core: file %d outside graph horizon", f.ID)
+		}
+		r := pb.reach[k]
+		pb.tg.Edges(func(e timegraph.Edge) {
+			if e.Slot < first || e.Slot > last {
+				return
+			}
+			if e.Storage {
+				switch pb.conf.Storage {
+				case StorageEndpointsOnly:
+					if e.From != f.Src && e.From != f.Dst {
+						return
+					}
+				case StorageNone:
+					return
+				}
+			}
+			if !r.Allowed(f, e.From, e.Slot) || !r.Allowed(f, e.To, e.Slot+1) {
+				pb.prunedVars++
+				return
+			}
+			pb.varUniverse++
+			if !e.Storage {
+				pb.support[e.Index] = true
+			}
+		})
+	}
+	// Charge floor rows: a lazily omitted charge row is slack only while
+	// X's lower bound covers the committed volume; under q-percentile
+	// charging with q < 100 the committed slot volume can exceed the
+	// charged floor, so those rows (and their X columns) enter eagerly.
+	errOut := error(nil)
+	pb.tg.Edges(func(e timegraph.Edge) {
+		if errOut != nil || e.Storage || !pb.support[e.Index] {
+			return
+		}
+		committed := pb.ledger.VolumeAt(e.From, e.To, e.Slot)
+		if committed <= pb.ledger.ChargedVolume(e.From, e.To) {
+			return
+		}
+		if _, err := pb.ensureChargeRow(e); err != nil {
+			errOut = err
+		}
+	})
+	return errOut
+}
+
+// ensureX returns the charged-volume epigraph column of e's link,
+// materializing it on first use.
+func (pb *pathBuilder) ensureX(e timegraph.Edge) lp.VarID {
+	l := netmodel.Link{From: e.From, To: e.To}
+	if x, ok := pb.xvars[l]; ok {
+		return x
+	}
+	x := pb.model.AddVariable(pb.ledger.ChargedVolume(e.From, e.To), math.Inf(1), e.Price, "")
+	pb.xvars[l] = x
+	pb.colKeys = append(pb.colKeys, modelKey{kind: kindX, file: -1, from: e.From, to: e.To, slot: -1})
+	pb.addedCols++
+	return x
+}
+
+// ensureChargeRow returns e's charge row (sum of path flow minus X bounded
+// by the committed volume), creating it — and its link's X column — on
+// first use.
+func (pb *pathBuilder) ensureChargeRow(e timegraph.Edge) (lp.ConID, error) {
+	if r := pb.chargeRow[e.Index]; r >= 0 {
+		return r, nil
+	}
+	x := pb.ensureX(e)
+	committed := pb.ledger.VolumeAt(e.From, e.To, e.Slot)
+	row, err := pb.model.AddConstraint(lp.LE, -committed, []lp.VarID{x}, []float64{-1})
+	if err != nil {
+		return -1, err
+	}
+	pb.chargeRow[e.Index] = row
+	pb.rowKeys = append(pb.rowKeys, modelKey{kind: kindCharge, file: -1, from: e.From, to: e.To, slot: e.Slot})
+	pb.addedRows++
+	return row, nil
+}
+
+// ensureCapRow returns e's residual-capacity row, creating it on first use.
+func (pb *pathBuilder) ensureCapRow(e timegraph.Edge) (lp.ConID, error) {
+	if r := pb.capRow[e.Index]; r >= 0 {
+		return r, nil
+	}
+	residual := pb.ledger.Residual(e.From, e.To, e.Slot)
+	row, err := pb.model.AddConstraint(lp.LE, residual, nil, nil)
+	if err != nil {
+		return -1, err
+	}
+	pb.capRow[e.Index] = row
+	pb.rowKeys = append(pb.rowKeys, modelKey{kind: kindCap, file: -1, from: e.From, to: e.To, slot: e.Slot})
+	pb.addedRows++
+	return row, nil
+}
+
+// Universe implements lp.PricingOracle: the size of the arc-variable
+// universe the path columns span implicitly.
+func (pb *pathBuilder) Universe() int { return pb.varUniverse }
+
+// pricingWorkers resolves the worker-pool width for one pricing round.
+func (pb *pathBuilder) pricingWorkers() int {
+	w := pb.conf.PricingWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(pb.files) {
+		w = len(pb.files)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// priceFile runs file k's shortest-path subproblem under duals y using
+// finder, leaving the result in the per-file buffers.
+func (pb *pathBuilder) priceFile(k int, y []float64, finder *timegraph.PathFinder) {
+	f := pb.files[k]
+	eps := pb.conf.Epsilon
+	weight := func(e *timegraph.Edge) float64 {
+		if e.Storage {
+			switch pb.conf.Storage {
+			case StorageEndpointsOnly:
+				if e.From != f.Src && e.From != f.Dst {
+					return math.Inf(1)
+				}
+			case StorageNone:
+				return math.Inf(1)
+			}
+			return 0
+		}
+		return eps + pb.edgeW[e.Index]
+	}
+	path, w, ok := finder.ShortestPath(pb.tg, f, weight)
+	pb.resOK[k] = ok
+	if !ok {
+		return
+	}
+	pb.resW[k] = w
+	buf := pb.resEdges[k][:0]
+	for _, idx := range path {
+		buf = append(buf, int32(idx))
+	}
+	pb.resEdges[k] = buf
+}
+
+// computeEdgeWeights fills edgeW with this round's transfer-edge pricing
+// weights (the Epsilon hop cost is added by the closure): −y for
+// materialized cap and charge rows, +Inf for zero-residual edges (their
+// tight absent cap row certifies any exclusion: all weights are
+// nonnegative under feasible duals, so assigning it an arbitrarily
+// negative dual prices every such path above any σ), and for absent charge
+// rows the chosen lazy dual — zero when the row is slack at zero flow
+// (flow below the charged floor really is free), otherwise a share of the
+// link's budget. The heuristic pass (certificate=false) charges the full
+// budget on every absent tight row, the link's true marginal cost; since
+// one path crosses a link in at most one slot that guides the search
+// perfectly, but the implied dual vector over-spends the budget, so a
+// quiet heuristic round proves nothing. The certificate pass splits the
+// budget evenly across the link's absent tight rows, which is a genuinely
+// dual-feasible, complementary-slack extension of the master's duals: a
+// quiet certificate round is an optimality proof against the full model.
+func (pb *pathBuilder) computeEdgeWeights(y []float64, certificate bool) {
+	nl := len(pb.linkPrice)
+	pb.budget = intSlice(pb.budget, nl)
+	pb.absent = intSlice(pb.absent, nl)
+	copy(pb.budget, pb.linkPrice)
+	for i := range pb.absent {
+		pb.absent[i] = 0
+	}
+	for i, lid := range pb.linkOf {
+		if lid < 0 {
+			continue
+		}
+		if r := pb.chargeRow[i]; r >= 0 {
+			pb.budget[lid] += y[r] // LE-row duals are ≤ 0
+		} else if pb.tight[i] {
+			pb.absent[lid]++
+		}
+	}
+	for i := range pb.budget {
+		if pb.budget[i] < 0 {
+			pb.budget[i] = 0 // float noise; dual feasibility pins it at ≥ 0
+		}
+	}
+	for i, lid := range pb.linkOf {
+		if lid < 0 {
+			continue
+		}
+		if pb.blocked[i] {
+			pb.edgeW[i] = math.Inf(1)
+			continue
+		}
+		w := 0.0
+		if r := pb.capRow[i]; r >= 0 {
+			w -= y[r]
+		}
+		if r := pb.chargeRow[i]; r >= 0 {
+			w -= y[r]
+		} else if pb.tight[i] {
+			if certificate {
+				w += pb.budget[lid] / float64(pb.absent[lid])
+			} else {
+				w += pb.budget[lid]
+			}
+		}
+		pb.edgeW[i] = w
+	}
+}
+
+// PriceBatch implements lp.PricingOracle: one Dantzig–Wolfe pricing round.
+// Every file's subproblem — a label-correcting shortest path over reduced
+// costs Epsilon − y_cap − y_charge, with absent lazy rows priced at their
+// chosen certificate duals (see computeEdgeWeights) — runs concurrently;
+// each path whose reduced cost W − σ_k beats −tol is materialized serially
+// in file order, creating the capacity and charge rows its edges touch for
+// the first time. The round prices heuristically first (full budgets on
+// untouched links, which keeps the round count independent of network
+// size); only when that finds nothing does it re-price under the
+// dual-consistent budget split, so a zero-column return really certifies
+// the master optimum against the full arc model.
+func (pb *pathBuilder) PriceBatch(m *lp.Model, y []float64, tol float64) (int, int, error) {
+	nf := len(pb.files)
+	if cap(pb.resEdges) < nf {
+		pb.resEdges = make([][]int32, nf)
+	} else {
+		pb.resEdges = pb.resEdges[:nf]
+	}
+	pb.resW = intSlice(pb.resW, nf)
+	pb.resOK = intSlice(pb.resOK, nf)
+	workers := pb.pricingWorkers()
+	if cap(pb.finders) < workers {
+		pb.finders = make([]timegraph.PathFinder, workers)
+	} else {
+		pb.finders = pb.finders[:workers]
+	}
+	pb.addedCols, pb.addedRows = 0, 0
+	for _, certificate := range []bool{false, true} {
+		pb.computeEdgeWeights(y, certificate)
+		if workers == 1 {
+			for k := 0; k < nf; k++ {
+				pb.priceFile(k, y, &pb.finders[0])
+			}
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for k := w; k < nf; k += workers {
+						pb.priceFile(k, y, &pb.finders[w])
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+		for k := range pb.files {
+			if !pb.resOK[k] {
+				continue
+			}
+			if rc := pb.resW[k] - y[pb.demandRow[k]]; rc >= -tol {
+				continue
+			}
+			if err := pb.materializePath(k, pb.resEdges[k]); err != nil {
+				return 0, 0, err
+			}
+		}
+		if pb.addedCols > 0 {
+			break // heuristic pass found work; no certificate needed yet
+		}
+	}
+	return pb.addedCols, pb.addedRows, nil
+}
+
+// MaterializeRest implements lp.PricingOracle. The path universe is
+// implicit and inexhaustible, but the hook is also unreachable: the
+// restricted master is feasible by construction (artificials cover every
+// demand row, residuals are never negative), so the driver never sees an
+// infeasible restriction to exhaust.
+func (pb *pathBuilder) MaterializeRest(*lp.Model) (int, int, bool, error) {
+	return 0, 0, false, nil
+}
+
+// pathHash is FNV-64a over the file index and edge sequence, identifying a
+// path column structurally (also across slots: edge indices are positional,
+// so the same physical route hashes identically on a rebased graph).
+func pathHash(file int32, edges []int32) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(v uint32) {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(v>>s) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint32(file))
+	for _, e := range edges {
+		mix(uint32(e))
+	}
+	return h
+}
+
+// materializePath grafts one path column for file k onto the master,
+// creating the rows its transfer edges need first. Duplicate paths
+// (possible only under dual degeneracy at tolerance scale) are dropped —
+// the column already exists, so re-adding it could only loop the driver.
+func (pb *pathBuilder) materializePath(k int, edges []int32) error {
+	f := pb.files[k]
+	h := pathHash(int32(k), edges)
+	for _, ci := range pb.seen[h] {
+		c := pb.cols[ci]
+		if c.file == int32(k) && int(c.end-c.start) == len(edges) {
+			same := true
+			for i, e := range pb.arena[c.start:c.end] {
+				if e != edges[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return nil
+			}
+		}
+	}
+	pb.conBuf = append(pb.conBuf[:0], pb.demandRow[k])
+	pb.cofBuf = append(pb.cofBuf[:0], 1)
+	transfers := 0
+	for _, idx := range edges {
+		e := pb.tg.Edge(int(idx))
+		if e.Storage {
+			continue
+		}
+		transfers++
+		capID, err := pb.ensureCapRow(e)
+		if err != nil {
+			return err
+		}
+		chargeID, err := pb.ensureChargeRow(e)
+		if err != nil {
+			return err
+		}
+		pb.conBuf = append(pb.conBuf, capID, chargeID)
+		pb.cofBuf = append(pb.cofBuf, 1, 1)
+	}
+	v, err := pb.model.AddColumn(0, math.Inf(1), pb.conf.Epsilon*float64(transfers), "", pb.conBuf, pb.cofBuf)
+	if err != nil {
+		return err
+	}
+	start := int32(len(pb.arena))
+	pb.arena = append(pb.arena, edges...)
+	ci := int32(len(pb.cols))
+	pb.cols = append(pb.cols, pathCol{v: v, file: int32(k), start: start, end: int32(len(pb.arena))})
+	pb.seen[h] = append(pb.seen[h], ci)
+	pb.colKeys = append(pb.colKeys, modelKey{kind: kindPath, file: f.ID, from: -1, to: -1, slot: int(h >> 1)})
+	pb.addedCols++
+	return nil
+}
+
+// artificialResidue reports the largest per-file artificial value relative
+// to its feasibility scale — zero (to LP tolerance) certifies that the
+// generated paths deliver every file in full and the master optimum is the
+// true optimum; positive means the instance could not be served and the
+// caller must fall back to the arc model for the authoritative verdict.
+func (pb *pathBuilder) artificialResidue(sol *lp.Solution) bool {
+	for k, f := range pb.files {
+		if sol.Value(pb.artVar[k]) > 1e-7*(1+f.Size) {
+			return true
+		}
+	}
+	return false
+}
+
+// extractSchedule aggregates the positive path columns into per-(file,
+// edge) actions — several paths of one file may share an edge — emitted in
+// edge-index order for determinism. Values at solver-noise scale are
+// dropped, exactly like the arc extraction.
+func (pb *pathBuilder) extractSchedule(sol *lp.Solution) *schedule.Schedule {
+	const tol = 1e-5
+	s := &schedule.Schedule{}
+	ne := pb.tg.NumEdges()
+	if cap(pb.amount) < ne {
+		pb.amount = make([]float64, ne)
+	} else {
+		pb.amount = pb.amount[:ne]
+		for i := range pb.amount {
+			pb.amount[i] = 0
+		}
+	}
+	byFile := make([][]int32, len(pb.files))
+	for ci, c := range pb.cols {
+		byFile[c.file] = append(byFile[c.file], int32(ci))
+	}
+	for k, f := range pb.files {
+		pb.dirty = pb.dirty[:0]
+		for _, ci := range byFile[k] {
+			c := pb.cols[ci]
+			val := sol.Value(c.v)
+			if val <= 0 {
+				continue
+			}
+			for _, idx := range pb.arena[c.start:c.end] {
+				if pb.amount[idx] == 0 {
+					pb.dirty = append(pb.dirty, idx)
+				}
+				pb.amount[idx] += val
+			}
+		}
+		sort.Slice(pb.dirty, func(a, b int) bool { return pb.dirty[a] < pb.dirty[b] })
+		for _, idx := range pb.dirty {
+			amount := pb.amount[idx]
+			pb.amount[idx] = 0
+			if amount <= tol {
+				continue
+			}
+			e := pb.tg.Edge(int(idx))
+			s.Add(schedule.Action{
+				FileID: f.ID,
+				From:   e.From,
+				To:     e.To,
+				Slot:   e.Slot,
+				Amount: amount,
+			})
+		}
+	}
+	return s
+}
+
+// chargedCost evaluates sum over links of price times charged volume at the
+// optimum. Links whose X column never materialized have no charge rows, so
+// their optimum is pinned at the ChargedVolume lower bound.
+func (pb *pathBuilder) chargedCost(sol *lp.Solution) float64 {
+	total := 0.0
+	nw := pb.tg.Network()
+	nw.Links(func(l netmodel.Link, price, _ float64) {
+		if x, ok := pb.xvars[l]; ok {
+			total += price * sol.Value(x)
+		} else {
+			total += price * pb.ledger.ChargedVolume(l.From, l.To)
+		}
+	})
+	return total
+}
+
+// solve runs the path master by column generation and converts the outcome
+// into a Result. fallback reports that the master terminated with positive
+// artificials (the generated paths cannot serve every file) — the caller
+// must obtain the authoritative verdict from an arc-model solve.
+func (pb *pathBuilder) solve(opts *lp.Options) (res *Result, sol *lp.Solution, fallback bool, err error) {
+	sol, err = lp.SolvePriced(pb.model, pb, opts)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("core: solving Postcard path master: %w", err)
+	}
+	res = &Result{
+		Status:         sol.Status,
+		Iterations:     sol.Iterations,
+		Phase1Iter:     sol.Phase1Iter,
+		Variables:      pb.model.NumVariables(),
+		Constraints:    pb.model.NumConstraints(),
+		WarmStarted:    sol.WarmStarted,
+		PresolveCols:   sol.PresolveCols,
+		PresolveRows:   sol.PresolveRows,
+		SparseSolves:   sol.SparseSolves,
+		DenseSolves:    sol.DenseSolves,
+		SolveNNZ:       sol.SolveNNZ,
+		SolveDim:       sol.SolveDim,
+		DevexResets:    sol.DevexResets,
+		DualRecomputes: sol.DualRecomputes,
+		VarUniverse:    pb.varUniverse,
+		PrunedVars:     pb.prunedVars,
+		ColGenRounds:   sol.ColGenRounds,
+		ColGenColumns:  sol.ColGenColumns,
+		ColGenRows:     sol.ColGenRows,
+		ColGenUniverse: sol.ColGenUniverse,
+	}
+	if sol.Status != lp.Optimal {
+		// Structurally unreachable (the master is feasible by construction),
+		// but any non-optimal outcome is a restricted verdict the arc model
+		// must confirm.
+		return res, sol, true, nil
+	}
+	if pb.artificialResidue(sol) {
+		return res, sol, true, nil
+	}
+	res.Schedule = pb.extractSchedule(sol)
+	res.CostPerSlot = pb.chargedCost(sol)
+	if !pb.conf.SkipVerify {
+		vc := schedule.VerifyConfig{
+			Residual: func(i, j netmodel.DC, slot int) float64 { return pb.ledger.Residual(i, j, slot) },
+			Tol:      1e-4, // GB; matches LP tolerance noise on multi-GB files
+		}
+		if err := schedule.Verify(res.Schedule, pb.tg.Network(), pb.files, vc); err != nil {
+			return nil, nil, false, fmt.Errorf("core: path optimizer produced an invalid schedule: %w", err)
+		}
+	}
+	return res, sol, false, nil
+}
+
+// pathCrashBasis is the cold start of the path master: every artificial
+// basic against its demand row (the implied point serves each file from its
+// artificial, so it is primal feasible and phase 1 is free except for
+// partial-percentile floor rows), everything else at the cold default.
+func pathCrashBasis(pb *pathBuilder) *lp.Basis {
+	nv, nr := len(pb.colKeys), len(pb.rowKeys)
+	out := &lp.Basis{NumVars: nv, NumRows: nr, Status: make([]lp.BasisStatus, nv+nr)}
+	for j := 0; j < nv; j++ {
+		out.Status[j] = lp.BasisAtLower
+	}
+	for i := 0; i < nr; i++ {
+		out.Status[nv+i] = lp.BasisBasic
+	}
+	for k := range pb.files {
+		out.Status[pb.artVar[k]] = lp.BasisBasic
+		out.Status[nv+int(pb.demandRow[k])] = lp.BasisAtLower
+	}
+	return out.Normalize()
+}
+
+// pathCrashNewFiles upgrades a mapped basis for files the previous model
+// did not contain: their artificial column enters basic against their
+// demand row (a triangular flip — the artificial appears in that row only),
+// restoring the primal-feasible serve-from-artificial start the cold crash
+// basis uses. Files carried over (same-slot shedding retries) keep their
+// mapped statuses.
+func pathCrashNewFiles(out *lp.Basis, prevRowStat map[modelKey]lp.BasisStatus, pb *pathBuilder) {
+	for k, f := range pb.files {
+		key := modelKey{kind: kindDemand, file: f.ID, from: -1, to: -1, slot: -1}
+		if _, carried := prevRowStat[key]; carried {
+			continue
+		}
+		out.Status[pb.artVar[k]] = lp.BasisBasic
+		out.Status[out.NumVars+int(pb.demandRow[k])] = lp.BasisAtLower
+	}
+}

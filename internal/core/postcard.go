@@ -65,6 +65,15 @@ type Config struct {
 	// feasible source-to-destination path — so this switch likewise exists
 	// only for equivalence testing.
 	DisablePruning bool
+	// Pricing selects the formulation: the per-arc model (default) or the
+	// Dantzig–Wolfe path master for 100+ DC overlays. Both are exact; see
+	// PricingMode. DisableColGen has no effect under PricingPath, whose
+	// column universe is implicit.
+	Pricing PricingMode
+	// PricingWorkers caps the goroutines pricing per-file path subproblems
+	// concurrently under PricingPath; <= 0 selects GOMAXPROCS. Results are
+	// bit-identical for every worker count.
+	PricingWorkers int
 }
 
 func (c *Config) withDefaults() Config {
@@ -134,6 +143,16 @@ type Result struct {
 	ColGenRounds   int
 	ColGenColumns  int
 	ColGenUniverse int
+	// ColGenRows counts the rows generation lazily appended alongside its
+	// columns — capacity and charge rows materialized on first touch by a
+	// path column. Always zero under PricingArc, whose rows are emitted on
+	// universe support up front.
+	ColGenRows int
+	// PathFallbacks is 1 when the path master terminated with positive
+	// artificials (the instance could not be served by generated paths) and
+	// the reported result came from the authoritative arc-model fallback
+	// solve; 0 otherwise and always under PricingArc.
+	PathFallbacks int
 }
 
 // UnroutableError reports files whose destination is structurally
@@ -171,6 +190,9 @@ func Solve(ledger *netmodel.Ledger, files []netmodel.File, t int, cfg *Config) (
 	tg, err := timegraph.Build(ledger.Network(), t, horizon)
 	if err != nil {
 		return nil, err
+	}
+	if conf.Pricing == PricingPath {
+		return solvePathStateless(tg, ledger, files, conf)
 	}
 	b, err := prepare(tg, ledger, files, conf, nil)
 	if err != nil {
@@ -227,6 +249,23 @@ func requiredHorizon(nw *netmodel.Network, files []netmodel.File, t int) (int, e
 // contribute no variables or rows, so the assembled model is identical to
 // one built on a tight graph.
 func prepare(tg *timegraph.Graph, ledger *netmodel.Ledger, files []netmodel.File, conf Config, recycle *builder) (*builder, error) {
+	reach, err := routability(tg, files, conf)
+	if err != nil {
+		return nil, err
+	}
+	b := newBuilder(recycle, tg, ledger, files, reach, conf)
+	if err := b.build(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// routability runs the structural routability check shared by both
+// formulations and returns the per-file reachability tables the model
+// construction prunes against (permissive ones under DisablePruning — the
+// check itself always uses the true hop distances, so every configuration
+// rejects exactly the same inputs).
+func routability(tg *timegraph.Graph, files []netmodel.File, conf Config) ([]timegraph.Reachability, error) {
 	reach := make([]timegraph.Reachability, len(files))
 	var unroutable []int
 	for k, f := range files {
@@ -240,19 +279,71 @@ func prepare(tg *timegraph.Graph, ledger *netmodel.Ledger, files []netmodel.File
 		return nil, &UnroutableError{FileIDs: unroutable}
 	}
 	if conf.DisablePruning {
-		// The structural routability check above always uses the true hop
-		// distances, so pruned and unpruned configurations reject exactly
-		// the same inputs; only the model construction goes permissive.
 		perm := timegraph.Permissive(tg.Network().NumDCs())
 		for k := range reach {
 			reach[k] = perm
 		}
 	}
-	b := newBuilder(recycle, tg, ledger, files, reach, conf)
+	return reach, nil
+}
+
+// solvePathStateless is the PricingPath branch of the stateless Solve: the
+// path master with a cold crash basis, falling back to an arc-model solve
+// when the master cannot serve every file (see pathBuilder.solve).
+func solvePathStateless(tg *timegraph.Graph, ledger *netmodel.Ledger, files []netmodel.File, conf Config) (*Result, error) {
+	reach, err := routability(tg, files, conf)
+	if err != nil {
+		return nil, err
+	}
+	pb := newPathBuilder(nil, tg, ledger, files, reach, conf)
+	if err := pb.build(); err != nil {
+		return nil, err
+	}
+	opts := lp.Options{}
+	if conf.LP != nil {
+		opts = *conf.LP
+	}
+	crashed := false
+	if opts.InitialBasis == nil {
+		opts.InitialBasis = pathCrashBasis(pb)
+		crashed = true
+	}
+	res, _, fallback, err := pb.solve(&opts)
+	if err != nil {
+		return nil, err
+	}
+	if crashed {
+		res.WarmStarted = false
+	}
+	if !fallback {
+		return res, nil
+	}
+	return solveArcFallback(tg, ledger, files, reach, conf, res)
+}
+
+// solveArcFallback obtains the authoritative verdict from the arc model
+// after a path master terminated with positive artificials, folding the
+// path attempt's simplex work into the returned counters.
+func solveArcFallback(tg *timegraph.Graph, ledger *netmodel.Ledger, files []netmodel.File, reach []timegraph.Reachability, conf Config, pathRes *Result) (*Result, error) {
+	b := newBuilder(nil, tg, ledger, files, reach, conf)
 	if err := b.build(); err != nil {
 		return nil, err
 	}
-	return b, nil
+	opts := lp.Options{}
+	if conf.LP != nil {
+		opts = *conf.LP
+	}
+	opts.InitialBasis = crashBasis(b)
+	res, _, err := b.solve(&opts)
+	if err != nil {
+		return nil, err
+	}
+	res.WarmStarted = false
+	res.PathFallbacks = 1
+	res.Iterations += pathRes.Iterations
+	res.Phase1Iter += pathRes.Phase1Iter
+	res.ColGenRounds += pathRes.ColGenRounds
+	return res, nil
 }
 
 // solve runs the assembled LP with the given solver options and converts
@@ -272,26 +363,27 @@ func (b *builder) solve(opts *lp.Options) (*Result, *lp.Solution, error) {
 		return nil, nil, fmt.Errorf("core: solving Postcard LP: %w", err)
 	}
 	res := &Result{
-		Status:          sol.Status,
-		Iterations:      sol.Iterations,
-		Phase1Iter:      sol.Phase1Iter,
-		Variables:       b.model.NumVariables(),
-		Constraints:     b.model.NumConstraints(),
-		WarmStarted:     sol.WarmStarted,
-		PresolveCols:    sol.PresolveCols,
-		PresolveRows:    sol.PresolveRows,
-		SparseSolves:    sol.SparseSolves,
-		DenseSolves:     sol.DenseSolves,
-		SolveNNZ:        sol.SolveNNZ,
-		SolveDim:        sol.SolveDim,
-		DevexResets:     sol.DevexResets,
-		DualRecomputes:  sol.DualRecomputes,
-		VarUniverse:     b.varUniverse,
-		PrunedVars:      b.prunedVars,
-		PrunedRows:      b.prunedRows,
-		ColGenRounds:    sol.ColGenRounds,
-		ColGenColumns:   sol.ColGenColumns,
-		ColGenUniverse:  sol.ColGenUniverse,
+		Status:         sol.Status,
+		Iterations:     sol.Iterations,
+		Phase1Iter:     sol.Phase1Iter,
+		Variables:      b.model.NumVariables(),
+		Constraints:    b.model.NumConstraints(),
+		WarmStarted:    sol.WarmStarted,
+		PresolveCols:   sol.PresolveCols,
+		PresolveRows:   sol.PresolveRows,
+		SparseSolves:   sol.SparseSolves,
+		DenseSolves:    sol.DenseSolves,
+		SolveNNZ:       sol.SolveNNZ,
+		SolveDim:       sol.SolveDim,
+		DevexResets:    sol.DevexResets,
+		DualRecomputes: sol.DualRecomputes,
+		VarUniverse:    b.varUniverse,
+		PrunedVars:     b.prunedVars,
+		PrunedRows:     b.prunedRows,
+		ColGenRounds:   sol.ColGenRounds,
+		ColGenColumns:  sol.ColGenColumns,
+		ColGenUniverse: sol.ColGenUniverse,
+		ColGenRows:     sol.ColGenRows,
 	}
 	if sol.Status != lp.Optimal {
 		return res, sol, nil
@@ -332,6 +424,9 @@ const (
 	kindCap                    // capacity row of one transfer edge
 	kindCharge                 // charge (epigraph) row of one transfer edge
 	kindCons                   // conservation row of one (file, dc, layer)
+	kindDemand                 // path master: convexity (demand) row of one file
+	kindArt                    // path master: big-M artificial column of one file
+	kindPath                   // path master: one path column (slot holds the path hash)
 )
 
 // varDelayed marks a (file, edge) pair that belongs to the pruned variable
@@ -423,7 +518,7 @@ func newBuilder(recycle *builder, tg *timegraph.Graph, ledger *netmodel.Ledger, 
 }
 
 // intSlice returns s resized to n, reusing its backing array when possible.
-func intSlice[T lp.VarID | lp.ConID | int | bool](s []T, n int) []T {
+func intSlice[T lp.VarID | lp.ConID | int | bool | float64](s []T, n int) []T {
 	if cap(s) < n {
 		return make([]T, n)
 	}

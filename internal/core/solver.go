@@ -51,6 +51,14 @@ type SolveStats struct {
 	ColGenRounds   int
 	ColGenColumns  int
 	ColGenUniverse int
+	// ColGenRows totals the rows generation lazily appended alongside its
+	// columns (path-master capacity/charge rows; zero under PricingArc).
+	ColGenRows int
+	// PathSolves counts solves that ran the Dantzig–Wolfe path master;
+	// PathFallbacks the subset whose master could not serve every file and
+	// deferred to an authoritative arc-model solve.
+	PathSolves    int
+	PathFallbacks int
 	// Admits, Rejects and Republishes count the admission fast tier's
 	// allocate-on-arrival decisions and background re-optimizations; they
 	// stay zero for pure LP schedulers. FastCost totals the provisional
@@ -67,30 +75,33 @@ type SolveStats struct {
 // Add returns the element-wise sum of two stat snapshots.
 func (s SolveStats) Add(o SolveStats) SolveStats {
 	return SolveStats{
-		Solves:       s.Solves + o.Solves,
-		WarmSolves:   s.WarmSolves + o.WarmSolves,
-		GraphReuses:  s.GraphReuses + o.GraphReuses,
-		Iterations:      s.Iterations + o.Iterations,
-		Phase1Iter:      s.Phase1Iter + o.Phase1Iter,
-		PresolveCols:    s.PresolveCols + o.PresolveCols,
-		PresolveRows:    s.PresolveRows + o.PresolveRows,
-		SparseSolves:    s.SparseSolves + o.SparseSolves,
-		DenseSolves:     s.DenseSolves + o.DenseSolves,
-		SolveNNZ:        s.SolveNNZ + o.SolveNNZ,
-		SolveDim:        s.SolveDim + o.SolveDim,
-		DevexResets:     s.DevexResets + o.DevexResets,
-		DualRecomputes:  s.DualRecomputes + o.DualRecomputes,
-		VarUniverse:     s.VarUniverse + o.VarUniverse,
-		PrunedVars:      s.PrunedVars + o.PrunedVars,
-		PrunedRows:      s.PrunedRows + o.PrunedRows,
-		ColGenRounds:    s.ColGenRounds + o.ColGenRounds,
-		ColGenColumns:   s.ColGenColumns + o.ColGenColumns,
-		ColGenUniverse:  s.ColGenUniverse + o.ColGenUniverse,
-		Admits:          s.Admits + o.Admits,
-		Rejects:         s.Rejects + o.Rejects,
-		Republishes:     s.Republishes + o.Republishes,
-		FastCost:        s.FastCost + o.FastCost,
-		RepublishDelta:  s.RepublishDelta + o.RepublishDelta,
+		Solves:         s.Solves + o.Solves,
+		WarmSolves:     s.WarmSolves + o.WarmSolves,
+		GraphReuses:    s.GraphReuses + o.GraphReuses,
+		Iterations:     s.Iterations + o.Iterations,
+		Phase1Iter:     s.Phase1Iter + o.Phase1Iter,
+		PresolveCols:   s.PresolveCols + o.PresolveCols,
+		PresolveRows:   s.PresolveRows + o.PresolveRows,
+		SparseSolves:   s.SparseSolves + o.SparseSolves,
+		DenseSolves:    s.DenseSolves + o.DenseSolves,
+		SolveNNZ:       s.SolveNNZ + o.SolveNNZ,
+		SolveDim:       s.SolveDim + o.SolveDim,
+		DevexResets:    s.DevexResets + o.DevexResets,
+		DualRecomputes: s.DualRecomputes + o.DualRecomputes,
+		VarUniverse:    s.VarUniverse + o.VarUniverse,
+		PrunedVars:     s.PrunedVars + o.PrunedVars,
+		PrunedRows:     s.PrunedRows + o.PrunedRows,
+		ColGenRounds:   s.ColGenRounds + o.ColGenRounds,
+		ColGenColumns:  s.ColGenColumns + o.ColGenColumns,
+		ColGenUniverse: s.ColGenUniverse + o.ColGenUniverse,
+		ColGenRows:     s.ColGenRows + o.ColGenRows,
+		PathSolves:     s.PathSolves + o.PathSolves,
+		PathFallbacks:  s.PathFallbacks + o.PathFallbacks,
+		Admits:         s.Admits + o.Admits,
+		Rejects:        s.Rejects + o.Rejects,
+		Republishes:    s.Republishes + o.Republishes,
+		FastCost:       s.FastCost + o.FastCost,
+		RepublishDelta: s.RepublishDelta + o.RepublishDelta,
 	}
 }
 
@@ -98,30 +109,33 @@ func (s SolveStats) Add(o SolveStats) SolveStats {
 // snapshots into the work performed between them.
 func (s SolveStats) Sub(o SolveStats) SolveStats {
 	return SolveStats{
-		Solves:       s.Solves - o.Solves,
-		WarmSolves:   s.WarmSolves - o.WarmSolves,
-		GraphReuses:  s.GraphReuses - o.GraphReuses,
-		Iterations:      s.Iterations - o.Iterations,
-		Phase1Iter:      s.Phase1Iter - o.Phase1Iter,
-		PresolveCols:    s.PresolveCols - o.PresolveCols,
-		PresolveRows:    s.PresolveRows - o.PresolveRows,
-		SparseSolves:    s.SparseSolves - o.SparseSolves,
-		DenseSolves:     s.DenseSolves - o.DenseSolves,
-		SolveNNZ:        s.SolveNNZ - o.SolveNNZ,
-		SolveDim:        s.SolveDim - o.SolveDim,
-		DevexResets:     s.DevexResets - o.DevexResets,
-		DualRecomputes:  s.DualRecomputes - o.DualRecomputes,
-		VarUniverse:     s.VarUniverse - o.VarUniverse,
-		PrunedVars:      s.PrunedVars - o.PrunedVars,
-		PrunedRows:      s.PrunedRows - o.PrunedRows,
-		ColGenRounds:    s.ColGenRounds - o.ColGenRounds,
-		ColGenColumns:   s.ColGenColumns - o.ColGenColumns,
-		ColGenUniverse:  s.ColGenUniverse - o.ColGenUniverse,
-		Admits:          s.Admits - o.Admits,
-		Rejects:         s.Rejects - o.Rejects,
-		Republishes:     s.Republishes - o.Republishes,
-		FastCost:        s.FastCost - o.FastCost,
-		RepublishDelta:  s.RepublishDelta - o.RepublishDelta,
+		Solves:         s.Solves - o.Solves,
+		WarmSolves:     s.WarmSolves - o.WarmSolves,
+		GraphReuses:    s.GraphReuses - o.GraphReuses,
+		Iterations:     s.Iterations - o.Iterations,
+		Phase1Iter:     s.Phase1Iter - o.Phase1Iter,
+		PresolveCols:   s.PresolveCols - o.PresolveCols,
+		PresolveRows:   s.PresolveRows - o.PresolveRows,
+		SparseSolves:   s.SparseSolves - o.SparseSolves,
+		DenseSolves:    s.DenseSolves - o.DenseSolves,
+		SolveNNZ:       s.SolveNNZ - o.SolveNNZ,
+		SolveDim:       s.SolveDim - o.SolveDim,
+		DevexResets:    s.DevexResets - o.DevexResets,
+		DualRecomputes: s.DualRecomputes - o.DualRecomputes,
+		VarUniverse:    s.VarUniverse - o.VarUniverse,
+		PrunedVars:     s.PrunedVars - o.PrunedVars,
+		PrunedRows:     s.PrunedRows - o.PrunedRows,
+		ColGenRounds:   s.ColGenRounds - o.ColGenRounds,
+		ColGenColumns:  s.ColGenColumns - o.ColGenColumns,
+		ColGenUniverse: s.ColGenUniverse - o.ColGenUniverse,
+		ColGenRows:     s.ColGenRows - o.ColGenRows,
+		PathSolves:     s.PathSolves - o.PathSolves,
+		PathFallbacks:  s.PathFallbacks - o.PathFallbacks,
+		Admits:         s.Admits - o.Admits,
+		Rejects:        s.Rejects - o.Rejects,
+		Republishes:    s.Republishes - o.Republishes,
+		FastCost:       s.FastCost - o.FastCost,
+		RepublishDelta: s.RepublishDelta - o.RepublishDelta,
 	}
 }
 
@@ -155,8 +169,11 @@ type Solver struct {
 	rows  []modelKey
 	// bld is the recycled LP builder: every solve reuses its previous
 	// model's backing allocations, so steady-state iteration assembles each
-	// slot's LP with almost no garbage.
-	bld *builder
+	// slot's LP with almost no garbage. pbld is its PricingPath
+	// counterpart, recycling the path master's model, registries, arenas
+	// and per-worker PathFinder state across slots.
+	bld  *builder
+	pbld *pathBuilder
 
 	stats SolveStats
 }
@@ -207,6 +224,9 @@ func (s *Solver) Solve(ledger *netmodel.Ledger, files []netmodel.File, t int) (*
 	if err != nil {
 		return nil, err
 	}
+	if s.conf.Pricing == PricingPath {
+		return s.solvePath(tg, ledger, files, t)
+	}
 	b, err := prepare(tg, ledger, files, s.conf, s.bld)
 	if err != nil {
 		return nil, err
@@ -236,6 +256,62 @@ func (s *Solver) Solve(ledger *netmodel.Ledger, files []netmodel.File, t int) (*
 	// not about the synthesized crash basis: a crash-started solve is still
 	// a cold solve to every observer of these counters.
 	res.WarmStarted = res.WarmStarted && snapshot
+	s.record(res)
+	s.cache(t, sol, b.colKeys, b.rowKeys)
+	return res, nil
+}
+
+// solvePath is the PricingPath branch of Solve: the Dantzig–Wolfe path
+// master, warm-started from the previous slot's basis through the same
+// structural-key translation the arc branch uses (demand rows and path
+// columns carry file identity and a path hash, so same-slot shedding
+// retries reuse the surviving files' resting states wholesale), with the
+// arc-model fallback when the master cannot serve every file.
+func (s *Solver) solvePath(tg *timegraph.Graph, ledger *netmodel.Ledger, files []netmodel.File, t int) (*Result, error) {
+	reach, err := routability(tg, files, s.conf)
+	if err != nil {
+		return nil, err
+	}
+	pb := newPathBuilder(s.pbld, tg, ledger, files, reach, s.conf)
+	s.pbld = pb
+	if err := pb.build(); err != nil {
+		return nil, err
+	}
+	opts := lp.Options{}
+	if s.conf.LP != nil {
+		opts = *s.conf.LP
+	}
+	opts.Presolve = true
+	snapshot := false
+	if s.valid && s.basis != nil {
+		if out, rowStat := mapKeys(s.basis, s.cols, s.rows, pb.colKeys, pb.rowKeys); out != nil {
+			pathCrashNewFiles(out, rowStat, pb)
+			opts.InitialBasis = out.Normalize()
+			snapshot = true
+		}
+	}
+	if opts.InitialBasis == nil {
+		opts.InitialBasis = pathCrashBasis(pb)
+	}
+	res, sol, fallback, err := pb.solve(&opts)
+	if err != nil {
+		return nil, err
+	}
+	res.WarmStarted = res.WarmStarted && snapshot
+	if fallback {
+		res, err = solveArcFallback(tg, ledger, files, reach, s.conf, res)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.record(res)
+	s.stats.PathSolves++
+	s.cache(t, sol, pb.colKeys, pb.rowKeys)
+	return res, nil
+}
+
+// record folds one solve's counters into the cumulative stats.
+func (s *Solver) record(res *Result) {
 	s.stats.Solves++
 	s.stats.Iterations += res.Iterations
 	s.stats.Phase1Iter += res.Phase1Iter
@@ -253,26 +329,30 @@ func (s *Solver) Solve(ledger *netmodel.Ledger, files []netmodel.File, t int) (*
 	s.stats.ColGenRounds += res.ColGenRounds
 	s.stats.ColGenColumns += res.ColGenColumns
 	s.stats.ColGenUniverse += res.ColGenUniverse
+	s.stats.ColGenRows += res.ColGenRows
+	s.stats.PathFallbacks += res.PathFallbacks
 	if res.WarmStarted {
 		s.stats.WarmSolves++
 	}
-	// Cache the final resting state — also for infeasible outcomes, whose
-	// basis warm-starts the engine's shed-and-retry re-solve of the same
-	// slot with a subset of the files.
+}
+
+// cache stores the final resting state — also for infeasible outcomes,
+// whose basis warm-starts the engine's shed-and-retry re-solve of the same
+// slot with a subset of the files. The keys are copied: builders are
+// recycled, so their own slices are clobbered by the next slot's build
+// before the mapping reads them.
+func (s *Solver) cache(t int, sol *lp.Solution, colKeys, rowKeys []modelKey) {
 	s.prevT = t
 	s.valid = true
 	if sol.Basis != nil {
 		s.basis = sol.Basis
-		// Copy the keys: the builder is recycled, so its own slices are
-		// clobbered by the next slot's prepare before mapBasis reads them.
-		s.cols = append(s.cols[:0], b.colKeys...)
-		s.rows = append(s.rows[:0], b.rowKeys...)
+		s.cols = append(s.cols[:0], colKeys...)
+		s.rows = append(s.rows[:0], rowKeys...)
 	} else {
 		s.basis = nil
 		s.cols = nil
 		s.rows = nil
 	}
-	return res, nil
 }
 
 // graphFor returns a time-expanded graph starting at t with at least the
@@ -325,9 +405,25 @@ func crashBasis(b *builder) *lp.Basis {
 // lookups are used — never map iteration — so the mapping is
 // bit-deterministic.
 func mapBasis(prev *lp.Basis, prevCols, prevRows []modelKey, b *builder) *lp.Basis {
+	out, rowStat := mapKeys(prev, prevCols, prevRows, b.colKeys, b.rowKeys)
+	if out == nil {
+		return nil
+	}
+	crashNewFiles(out, rowStat, b)
+	return out.Normalize()
+}
+
+// mapKeys performs the formulation-independent half of basis translation:
+// columns and rows whose structural keys match carry their status over,
+// unmatched columns rest at their lower bound and unmatched rows keep their
+// logicals basic. The previous rows' status map is returned so the caller's
+// crash upgrade can tell carried files from new ones. The caller normalizes
+// after its upgrade. Only map lookups are used — never map iteration — so
+// the mapping is bit-deterministic.
+func mapKeys(prev *lp.Basis, prevCols, prevRows, curCols, curRows []modelKey) (*lp.Basis, map[modelKey]lp.BasisStatus) {
 	if prev == nil || prev.NumVars != len(prevCols) || prev.NumRows != len(prevRows) ||
 		len(prev.Status) != prev.NumVars+prev.NumRows {
-		return nil
+		return nil, nil
 	}
 	colStat := make(map[modelKey]lp.BasisStatus, len(prevCols))
 	for j, k := range prevCols {
@@ -337,24 +433,23 @@ func mapBasis(prev *lp.Basis, prevCols, prevRows []modelKey, b *builder) *lp.Bas
 	for i, k := range prevRows {
 		rowStat[k] = prev.Status[prev.NumVars+i]
 	}
-	nv, nr := len(b.colKeys), len(b.rowKeys)
+	nv, nr := len(curCols), len(curRows)
 	out := &lp.Basis{NumVars: nv, NumRows: nr, Status: make([]lp.BasisStatus, nv+nr)}
-	for j, k := range b.colKeys {
+	for j, k := range curCols {
 		if st, ok := colStat[k]; ok {
 			out.Status[j] = st
 		} else {
 			out.Status[j] = lp.BasisAtLower
 		}
 	}
-	for i, k := range b.rowKeys {
+	for i, k := range curRows {
 		if st, ok := rowStat[k]; ok {
 			out.Status[nv+i] = st
 		} else {
 			out.Status[nv+i] = lp.BasisBasic
 		}
 	}
-	crashNewFiles(out, rowStat, b)
-	return out.Normalize()
+	return out, rowStat
 }
 
 // crashNewFiles upgrades the mapped basis for files the previous model did

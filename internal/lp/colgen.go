@@ -9,6 +9,12 @@ import "sort"
 // [0, Len()); the driver guarantees Materialize is called at most once per
 // candidate, in strictly increasing model-column order within a batch, so a
 // deterministic source yields bit-deterministic solves.
+//
+// ColumnSource is the fixed-row special case of PricingOracle: every
+// candidate hangs off rows the restriction already contains. Sources that
+// need to create rows alongside their columns (whole-path Dantzig–Wolfe
+// columns over lazily materialized capacity rows) implement PricingOracle
+// directly and use SolvePriced.
 type ColumnSource interface {
 	// Len reports the size of the delayed-column universe. It must not
 	// change over the life of a SolveColGen call.
@@ -27,6 +33,84 @@ type ColumnSource interface {
 // duals make large swaths of the universe look attractive; the most
 // negative reduced costs enter first.
 const colGenBatch = 512
+
+// columnSourceOracle adapts the dense-universe ColumnSource contract onto
+// the PricingOracle round protocol, preserving SolveColGen's exact batching
+// behavior: all violated candidates, capped at colGenBatch by most negative
+// reduced cost with index tie-breaks, materialized in ascending candidate
+// order; an infeasible restriction materializes the entire remaining
+// universe. It never adds rows.
+type columnSourceOracle struct {
+	src          ColumnSource
+	materialized []bool
+	remaining    int
+	batch        []int
+}
+
+func (o *columnSourceOracle) Universe() int { return len(o.materialized) }
+
+func (o *columnSourceOracle) add(m *Model, cands []int) (int, error) {
+	// Ascending candidate order == ascending model-column order, which
+	// keeps the source's column bookkeeping append-only.
+	sort.Ints(cands)
+	for _, c := range cands {
+		if _, err := o.src.Materialize(m, c); err != nil {
+			return 0, err
+		}
+		o.materialized[c] = true
+	}
+	o.remaining -= len(cands)
+	return len(cands), nil
+}
+
+func (o *columnSourceOracle) PriceBatch(m *Model, y []float64, tol float64) (int, int, error) {
+	if o.remaining == 0 {
+		return 0, 0, nil
+	}
+	o.batch = o.batch[:0]
+	universe := len(o.materialized)
+	for c := 0; c < universe; c++ {
+		if !o.materialized[c] && o.src.Price(c, y) < -tol {
+			o.batch = append(o.batch, c)
+		}
+	}
+	if len(o.batch) == 0 {
+		return 0, 0, nil
+	}
+	if len(o.batch) > colGenBatch {
+		// Keep the most attractive columns; ties break on candidate
+		// index so the cut is deterministic.
+		rc := make(map[int]float64, len(o.batch))
+		for _, c := range o.batch {
+			rc[c] = o.src.Price(c, y)
+		}
+		sort.Slice(o.batch, func(a, b int) bool {
+			ra, rb := rc[o.batch[a]], rc[o.batch[b]]
+			if ra != rb {
+				return ra < rb
+			}
+			return o.batch[a] < o.batch[b]
+		})
+		o.batch = o.batch[:colGenBatch]
+	}
+	cols, err := o.add(m, o.batch)
+	return cols, 0, err
+}
+
+func (o *columnSourceOracle) MaterializeRest(m *Model) (int, int, bool, error) {
+	if o.remaining == 0 {
+		return 0, 0, true, nil
+	}
+	o.batch = o.batch[:0]
+	universe := len(o.materialized)
+	for c := 0; c < universe; c++ {
+		if !o.materialized[c] {
+			o.batch = append(o.batch, c)
+		}
+	}
+	cols, err := o.add(m, o.batch)
+	return cols, 0, true, err
+}
 
 // SolveColGen solves the full model implied by m plus every column of src
 // by delayed column generation: it solves the restricted master m, prices
@@ -47,167 +131,18 @@ const colGenBatch = 512
 // iteration-limited outcomes return as-is (a ray of the restriction is a
 // ray of the full model).
 //
-// The returned Solution aggregates work counters (iterations, basis-solve
-// and pricing telemetry) across all rounds, reports presolve reductions for
-// the final round, and describes the generation itself in ColGenRounds,
-// ColGenColumns and ColGenUniverse.
+// SolveColGen is a thin shim over SolvePriced with the ColumnSource adapted
+// onto the PricingOracle round protocol; the returned Solution aggregates
+// work counters across all rounds exactly as SolvePriced documents.
 func SolveColGen(m *Model, src ColumnSource, opts *Options) (*Solution, error) {
 	universe := src.Len()
 	if universe == 0 {
 		return m.Solve(opts)
 	}
-	priceTol := 1e-7
-	if opts != nil && opts.OptTol > 0 {
-		priceTol = opts.OptTol
+	oracle := &columnSourceOracle{
+		src:          src,
+		materialized: make([]bool, universe),
+		remaining:    universe,
 	}
-	cur := Options{}
-	if opts != nil {
-		cur = *opts
-	}
-	// Pricing is only sound against an exact dual certificate of the
-	// restricted master. The presolve postsolve preserves the duality
-	// identity but not exactness: when a singleton row is folded into a
-	// column's bound and that column is later removed as empty, the folded
-	// row's dual is unrecoverable and reported as zero, which makes every
-	// delayed column priced through that row look unattractive and
-	// terminates generation at a suboptimal restriction. The masters are
-	// small — generation itself removes the columns presolve would have —
-	// so rounds always solve the un-presolved model.
-	cur.Presolve = false
-	materialized := make([]bool, universe)
-	remaining := universe
-	var batch []int
-	acc := struct {
-		iterations, phase1, factorized             int
-		sparseSolves, denseSolves, nnz, dim        int
-		devexResets, dualRecomputes                int
-		rounds, added                              int
-		warmStarted                                bool
-	}{}
-	addBatch := func(sol *Solution, cands []int) error {
-		// Ascending candidate order == ascending model-column order, which
-		// keeps the source's column bookkeeping append-only.
-		sort.Ints(cands)
-		for _, c := range cands {
-			if _, err := src.Materialize(m, c); err != nil {
-				return err
-			}
-			materialized[c] = true
-		}
-		remaining -= len(cands)
-		acc.added += len(cands)
-		cur.InitialBasis = extendBasis(sol.Basis, len(cands))
-		return nil
-	}
-	for {
-		sol, err := m.Solve(&cur)
-		if err != nil {
-			return nil, err
-		}
-		acc.rounds++
-		acc.iterations += sol.Iterations
-		acc.phase1 += sol.Phase1Iter
-		acc.factorized += sol.Factorized
-		acc.sparseSolves += sol.SparseSolves
-		acc.denseSolves += sol.DenseSolves
-		acc.nnz += sol.SolveNNZ
-		acc.dim += sol.SolveDim
-		acc.devexResets += sol.DevexResets
-		acc.dualRecomputes += sol.DualRecomputes
-		if acc.rounds == 1 {
-			acc.warmStarted = sol.WarmStarted
-		}
-		done := false
-		switch sol.Status {
-		case Optimal:
-			if remaining == 0 {
-				done = true
-				break
-			}
-			batch = batch[:0]
-			for c := 0; c < universe; c++ {
-				if !materialized[c] && src.Price(c, sol.Dual) < -priceTol {
-					batch = append(batch, c)
-				}
-			}
-			if len(batch) == 0 {
-				done = true
-				break
-			}
-			if len(batch) > colGenBatch {
-				// Keep the most attractive columns; ties break on candidate
-				// index so the cut is deterministic.
-				rc := make(map[int]float64, len(batch))
-				for _, c := range batch {
-					rc[c] = src.Price(c, sol.Dual)
-				}
-				sort.Slice(batch, func(a, b int) bool {
-					ra, rb := rc[batch[a]], rc[batch[b]]
-					if ra != rb {
-						return ra < rb
-					}
-					return batch[a] < batch[b]
-				})
-				batch = batch[:colGenBatch]
-			}
-			if err := addBatch(sol, batch); err != nil {
-				return nil, err
-			}
-		case Infeasible:
-			if remaining == 0 {
-				done = true
-				break
-			}
-			batch = batch[:0]
-			for c := 0; c < universe; c++ {
-				if !materialized[c] {
-					batch = append(batch, c)
-				}
-			}
-			if err := addBatch(sol, batch); err != nil {
-				return nil, err
-			}
-		default:
-			done = true
-		}
-		if done {
-			sol.Iterations = acc.iterations
-			sol.Phase1Iter = acc.phase1
-			sol.Factorized = acc.factorized
-			sol.SparseSolves = acc.sparseSolves
-			sol.DenseSolves = acc.denseSolves
-			sol.SolveNNZ = acc.nnz
-			sol.SolveDim = acc.dim
-			sol.DevexResets = acc.devexResets
-			sol.DualRecomputes = acc.dualRecomputes
-			sol.WarmStarted = acc.warmStarted
-			sol.ColGenRounds = acc.rounds
-			sol.ColGenColumns = acc.added
-			sol.ColGenUniverse = universe
-			return sol, nil
-		}
-	}
-}
-
-// extendBasis grows a basis snapshot by extra structural columns resting at
-// their lower bound. The basic count is unchanged, so a snapshot the simplex
-// accepted for the restriction is accepted for the extension too — and the
-// implied basic point is the restriction's own, which stays primal feasible
-// (the new columns contribute nothing at their bound), so the re-solve
-// resumes from dual pricing instead of re-running phase 1.
-func extendBasis(b *Basis, extra int) *Basis {
-	if b == nil {
-		return nil
-	}
-	out := &Basis{
-		NumVars: b.NumVars + extra,
-		NumRows: b.NumRows,
-		Status:  make([]BasisStatus, 0, len(b.Status)+extra),
-	}
-	out.Status = append(out.Status, b.Status[:b.NumVars]...)
-	for i := 0; i < extra; i++ {
-		out.Status = append(out.Status, BasisAtLower)
-	}
-	out.Status = append(out.Status, b.Status[b.NumVars:]...)
-	return out
+	return SolvePriced(m, oracle, opts)
 }

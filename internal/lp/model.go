@@ -304,13 +304,16 @@ type Solution struct {
 	// drift of the incremental per-pivot updates.
 	DualRecomputes int
 
-	// ColGenRounds, ColGenColumns and ColGenUniverse are filled by
-	// SolveColGen: the number of restricted-master solves performed, the
-	// number of delayed columns materialized into the model, and the size of
-	// the delayed-column universe that was priced implicitly. All zero for a
-	// plain Solve.
+	// ColGenRounds, ColGenColumns, ColGenRows and ColGenUniverse are filled
+	// by SolvePriced (and thus SolveColGen): the number of restricted-master
+	// solves performed, the number of delayed columns materialized into the
+	// model, the number of rows the oracle created lazily alongside them
+	// (zero for fixed-row ColumnSource generation), and the size of the
+	// delayed universe that was priced implicitly. All zero for a plain
+	// Solve.
 	ColGenRounds   int
 	ColGenColumns  int
+	ColGenRows     int
 	ColGenUniverse int
 }
 

@@ -1,0 +1,185 @@
+package lp
+
+// PricingOracle is the generalized delayed-generation contract behind
+// SolvePriced. Where ColumnSource enumerates a dense candidate universe and
+// materializes one 4-row arc column at a time, a PricingOracle owns the
+// whole pricing round: given the duals of a solved restriction it decides
+// which columns enter, appends any rows those columns need first (lazily
+// created capacity or charging rows a path column crosses), and reports how
+// much the model grew so the driver can extend the warm-start basis. This
+// supports implicit universes — a Dantzig–Wolfe path oracle prices
+// exponentially many source→deadline paths through a shortest-path
+// subproblem without ever enumerating them — and lets the oracle fan the
+// per-commodity subproblems across worker goroutines, as long as the
+// materialization it performs is deterministic for given duals.
+type PricingOracle interface {
+	// Universe reports the size of the delayed universe being priced — the
+	// number of explicit delayed candidates, or the size of the implicit
+	// variable space a decomposition prices by subproblem. It is fixed for
+	// the life of a SolvePriced call; zero means there is nothing to price
+	// and the restriction already is the full model.
+	Universe() int
+
+	// PriceBatch runs one pricing round against the row duals y (indexed by
+	// ConID, minimization sign convention; rows the restriction does not
+	// contain have dual zero by construction). The oracle materializes the
+	// columns it selects — every column with reduced cost below -tol it
+	// wants to enter this round, possibly capped by an internal batch
+	// policy — appending required new rows before the columns that
+	// reference them, and returns how many columns and rows it added.
+	// cols == 0 reports the universe priced out: no delayed column is
+	// attractive under y, so the restriction's optimum is the full model's.
+	PriceBatch(m *Model, y []float64, tol float64) (cols, rows int, err error)
+
+	// MaterializeRest materializes every remaining delayed column at once.
+	// The driver calls it when the restriction is infeasible — an infeasible
+	// restriction proves nothing about the full model, and an infeasible
+	// simplex exposes no duals to price against — so that the subsequent
+	// re-solve delivers a full-model verdict. Oracles over an implicit
+	// universe that cannot be exhausted return ok == false; the driver then
+	// returns the infeasible solution as-is and the caller must treat it as
+	// a restricted (not full-model) verdict. Oracles that keep their
+	// restriction feasible by construction (e.g. with artificial columns)
+	// never see this call.
+	MaterializeRest(m *Model) (cols, rows int, ok bool, err error)
+}
+
+// SolvePriced solves the full model implied by m plus the oracle's delayed
+// universe by column generation: solve the restricted master, hand the
+// optimal duals to the oracle, extend the warm-start basis by whatever the
+// oracle materialized (new columns resting at their lower bound, new rows'
+// logicals basic), and repeat until the oracle reports the universe priced
+// out. Appending new rows with basic logicals is safe precisely because
+// rows are created lazily on first use: every column already materialized
+// has a zero coefficient in a row created after it, so the row's activity
+// at the current basic point comes only from pre-existing columns the
+// oracle verified slack — the extended snapshot stays primal feasible and
+// the re-solve resumes from dual pricing instead of phase 1.
+//
+// Pricing is only sound against an exact dual certificate of the restricted
+// master, so rounds always solve with presolve disabled: the postsolve
+// preserves the duality identity but not exactness — when a singleton row
+// is folded into a column's bound and that column is later removed as
+// empty, the folded row's dual is unrecoverable and reported as zero, which
+// makes every delayed column priced through that row look unattractive and
+// terminates generation at a suboptimal restriction.
+//
+// Unbounded and iteration-limited outcomes return as-is (a ray of the
+// restriction is a ray of the full model). The returned Solution aggregates
+// work counters across all rounds and describes the generation itself in
+// ColGenRounds, ColGenColumns, ColGenRows and ColGenUniverse.
+func SolvePriced(m *Model, oracle PricingOracle, opts *Options) (*Solution, error) {
+	universe := oracle.Universe()
+	if universe == 0 {
+		return m.Solve(opts)
+	}
+	priceTol := 1e-7
+	if opts != nil && opts.OptTol > 0 {
+		priceTol = opts.OptTol
+	}
+	cur := Options{}
+	if opts != nil {
+		cur = *opts
+	}
+	cur.Presolve = false
+	acc := struct {
+		iterations, phase1, factorized      int
+		sparseSolves, denseSolves, nnz, dim int
+		devexResets, dualRecomputes         int
+		rounds, cols, rows                  int
+		warmStarted                         bool
+	}{}
+	for {
+		sol, err := m.Solve(&cur)
+		if err != nil {
+			return nil, err
+		}
+		acc.rounds++
+		acc.iterations += sol.Iterations
+		acc.phase1 += sol.Phase1Iter
+		acc.factorized += sol.Factorized
+		acc.sparseSolves += sol.SparseSolves
+		acc.denseSolves += sol.DenseSolves
+		acc.nnz += sol.SolveNNZ
+		acc.dim += sol.SolveDim
+		acc.devexResets += sol.DevexResets
+		acc.dualRecomputes += sol.DualRecomputes
+		if acc.rounds == 1 {
+			acc.warmStarted = sol.WarmStarted
+		}
+		done := false
+		switch sol.Status {
+		case Optimal:
+			cols, rows, err := oracle.PriceBatch(m, sol.Dual, priceTol)
+			if err != nil {
+				return nil, err
+			}
+			if cols == 0 {
+				done = true
+				break
+			}
+			acc.cols += cols
+			acc.rows += rows
+			cur.InitialBasis = extendBasis(sol.Basis, cols, rows)
+		case Infeasible:
+			cols, rows, ok, err := oracle.MaterializeRest(m)
+			if err != nil {
+				return nil, err
+			}
+			if !ok || cols+rows == 0 {
+				done = true
+				break
+			}
+			acc.cols += cols
+			acc.rows += rows
+			cur.InitialBasis = extendBasis(sol.Basis, cols, rows)
+		default:
+			done = true
+		}
+		if done {
+			sol.Iterations = acc.iterations
+			sol.Phase1Iter = acc.phase1
+			sol.Factorized = acc.factorized
+			sol.SparseSolves = acc.sparseSolves
+			sol.DenseSolves = acc.denseSolves
+			sol.SolveNNZ = acc.nnz
+			sol.SolveDim = acc.dim
+			sol.DevexResets = acc.devexResets
+			sol.DualRecomputes = acc.dualRecomputes
+			sol.WarmStarted = acc.warmStarted
+			sol.ColGenRounds = acc.rounds
+			sol.ColGenColumns = acc.cols
+			sol.ColGenRows = acc.rows
+			sol.ColGenUniverse = universe
+			return sol, nil
+		}
+	}
+}
+
+// extendBasis grows a basis snapshot by extraCols structural columns resting
+// at their lower bound and extraRows constraints whose logicals enter basic.
+// New columns at their bound contribute nothing, and a lazily created row's
+// activity comes only from columns materialized before it (later columns
+// have zero coefficients there), which the oracle guarantees leave it slack
+// — so the implied basic point is the restriction's own and stays primal
+// feasible, letting the re-solve skip phase 1. The basic count grows by
+// exactly extraRows, matching the extended model's row count.
+func extendBasis(b *Basis, extraCols, extraRows int) *Basis {
+	if b == nil {
+		return nil
+	}
+	out := &Basis{
+		NumVars: b.NumVars + extraCols,
+		NumRows: b.NumRows + extraRows,
+		Status:  make([]BasisStatus, 0, len(b.Status)+extraCols+extraRows),
+	}
+	out.Status = append(out.Status, b.Status[:b.NumVars]...)
+	for i := 0; i < extraCols; i++ {
+		out.Status = append(out.Status, BasisAtLower)
+	}
+	out.Status = append(out.Status, b.Status[b.NumVars:]...)
+	for i := 0; i < extraRows; i++ {
+		out.Status = append(out.Status, BasisBasic)
+	}
+	return out
+}

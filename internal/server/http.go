@@ -173,6 +173,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("postcard_solver_colgen_rounds_total", "Delayed column generation rounds.", float64(v.ColGenRounds))
 	counter("postcard_solver_colgen_columns_total", "Columns materialized by delayed generation.", float64(v.ColGenColumns))
 	counter("postcard_solver_colgen_universe_total", "Delayed columns across generation-enabled solves.", float64(v.ColGenUniverse))
+	counter("postcard_solver_colgen_rows_total", "Rows lazily appended alongside generated columns.", float64(v.ColGenRows))
+	counter("postcard_solver_path_solves_total", "Solves served by the Dantzig-Wolfe path master.", float64(v.PathSolves))
+	counter("postcard_solver_path_fallbacks_total", "Path-master solves that fell back to the arc model.", float64(v.PathFallbacks))
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))

@@ -68,6 +68,28 @@ func CIScale() Scale {
 	}
 }
 
+// DCScale is the solver-scaling configuration behind the PR 9 experiments:
+// a Figure 4-style run (ample capacity, urgent deadlines) at an arbitrary
+// datacenter count, sized so that the LP dimension — which grows with the
+// link count, i.e. quadratically in DCs on the complete evaluation
+// topology — is the only thing that changes between points. Slots and runs
+// are kept small because one 128-DC slot already prices tens of thousands
+// of candidate edges per file; the per-slot workload is fixed (not scaled
+// with DCs) so solver time isolates model size, not demand volume.
+func DCScale(dcs int) Scale {
+	return Scale{
+		Name:      fmt.Sprintf("dc%d", dcs),
+		DCs:       dcs,
+		Slots:     4,
+		Runs:      1,
+		FilesMin:  4,
+		FilesMax:  8,
+		SizeMinGB: 10,
+		SizeMaxGB: 100,
+		Seed:      2012,
+	}
+}
+
 // Validate checks the scale.
 func (s Scale) Validate() error {
 	if s.DCs < 2 || s.Slots < 1 || s.Runs < 1 {
@@ -369,10 +391,13 @@ func (r *FigureResult) Table() string {
 // restricting anything). It returns the empty string when no scheduler
 // reported solver work, so plain (cold) runs render exactly as before.
 func (r *FigureResult) SolverTable() string {
-	anyLP, anyAdm := false, false
+	anyLP, anyPath, anyAdm := false, false, false
 	for _, s := range r.Schedulers {
 		if s.Solver.Solves > 0 {
 			anyLP = true
+		}
+		if s.Solver.PathSolves > 0 {
+			anyPath = true
 		}
 		if s.Solver.Admits+s.Solver.Rejects > 0 {
 			anyAdm = true
@@ -411,7 +436,33 @@ func (r *FigureResult) SolverTable() string {
 			hit, density, st.DevexResets, st.DualRecomputes,
 			pruned, st.ColGenRounds, gen)
 	}
-	return b.String() + r.admissionTable(anyAdm)
+	return b.String() + r.pathTable(anyPath) + r.admissionTable(anyAdm)
+}
+
+// pathTable renders the Dantzig–Wolfe path-pricing counters for every
+// scheduler that ran the path master (Solver.PathSolves > 0), one row per
+// scheduler: path solves, arc-model fallbacks (slots where positive
+// artificials sent the verdict back to the arc formulation), and the lazy
+// cap/charge rows the pricing rounds materialized. It returns the empty
+// string when no scheduler used path pricing, so arc-mode runs render
+// exactly as before.
+func (r *FigureResult) pathTable(anyPath bool) string {
+	if !anyPath {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "path pricing (fig %d):\n", r.Setting.Figure)
+	fmt.Fprintf(&b, "%-16s %10s %10s %10s\n",
+		"scheduler", "solves", "fallbacks", "lazy-rows")
+	for _, s := range r.Schedulers {
+		st := s.Solver
+		if st.PathSolves == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %10d %10d %10d\n",
+			s.Name, st.PathSolves, st.PathFallbacks, st.ColGenRows)
+	}
+	return b.String()
 }
 
 // admissionTable renders the admission fast-tier counters for every

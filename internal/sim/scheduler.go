@@ -135,7 +135,12 @@ func (p *Postcard) Schedule(ledger *netmodel.Ledger, files []netmodel.File, slot
 			p.stats.PrunedRows += res.PrunedRows
 			p.stats.ColGenRounds += res.ColGenRounds
 			p.stats.ColGenColumns += res.ColGenColumns
+			p.stats.ColGenRows += res.ColGenRows
 			p.stats.ColGenUniverse += res.ColGenUniverse
+			p.stats.PathFallbacks += res.PathFallbacks
+			if p.Config != nil && p.Config.Pricing == core.PricingPath {
+				p.stats.PathSolves++
+			}
 		}
 	}
 	if err != nil {

@@ -1,0 +1,119 @@
+package timegraph
+
+import (
+	"math"
+
+	"github.com/interdc/postcard/internal/netmodel"
+)
+
+// SlotEdges returns the edges of slot s — every transfer edge followed by
+// the per-datacenter storage edges, in index order — or nil when s lies
+// outside the graph. Build lays edges out slot-contiguously and Rebase
+// preserves the layout, so the returned slice is a view into the graph's
+// own storage.
+func (g *Graph) SlotEdges(s int) []Edge {
+	if s < g.start || s >= g.start+g.horizon {
+		return nil
+	}
+	per := len(g.edges) / g.horizon
+	off := (s - g.start) * per
+	return g.edges[off : off+per]
+}
+
+// PathFinder computes minimum-weight source→deadline paths on the
+// time-expanded DAG — the Dantzig–Wolfe pricing subproblem. The graph is
+// layered (every edge goes from layer s to layer s+1), so one
+// label-correcting sweep in layer order is exact for arbitrary edge
+// weights, including the negative reduced costs pricing produces; no
+// Dijkstra ordering or negative-cycle handling is needed. The zero value is
+// ready to use, and the internal labels are recycled across calls, so one
+// PathFinder per worker goroutine prices any number of files without
+// allocating.
+type PathFinder struct {
+	dist []float64
+	pred []int32
+	path []int
+}
+
+// ShortestPath returns a minimum-weight path for file f from its source at
+// the release layer to its destination at the deadline layer (clamped to
+// the graph), as a sequence of edge indices in traversal order. The weight
+// callback prices each candidate edge — reduced cost for transfer edges,
+// zero or +Inf for storage edges depending on the holdover policy — and
+// returns math.Inf(1) to forbid an edge outright. Deadline-window pruning
+// is inherent: a layered path from (src, release) to (dst, deadline) can
+// only visit datacenters whose hop distances fit the elapsed and remaining
+// slots, exactly the Reachability.Allowed condition.
+//
+// ok is false when no admissible path exists. The returned slice is reused
+// by the next call on the same PathFinder; callers that keep paths copy
+// them out. Ties between equal-weight paths break toward the lowest edge
+// index at every layer, so the result is deterministic for given weights.
+func (p *PathFinder) ShortestPath(g *Graph, f netmodel.File, weight func(e *Edge) float64) (path []int, w float64, ok bool) {
+	n := g.nw.NumDCs()
+	first := f.Release
+	if first < g.start {
+		first = g.start
+	}
+	endLayer := f.Release + f.Deadline
+	if clamp := g.start + g.horizon; endLayer > clamp {
+		endLayer = clamp
+	}
+	if first > endLayer {
+		return nil, 0, false
+	}
+	layers := endLayer - first + 1
+	size := layers * n
+	if cap(p.dist) < size {
+		p.dist = make([]float64, size)
+		p.pred = make([]int32, size)
+	} else {
+		p.dist = p.dist[:size]
+		p.pred = p.pred[:size]
+	}
+	pinf := math.Inf(1)
+	for i := range p.dist {
+		p.dist[i] = pinf
+		p.pred[i] = 0
+	}
+	p.dist[int(f.Src)] = 0
+	for layer := first; layer < endLayer; layer++ {
+		base := (layer - first) * n
+		next := base + n
+		slot := g.SlotEdges(layer)
+		for i := range slot {
+			e := &slot[i]
+			from := p.dist[base+int(e.From)]
+			if math.IsInf(from, 1) {
+				continue
+			}
+			cw := weight(e)
+			if math.IsInf(cw, 1) {
+				continue
+			}
+			if d := from + cw; d < p.dist[next+int(e.To)] {
+				p.dist[next+int(e.To)] = d
+				p.pred[next+int(e.To)] = int32(e.Index) + 1
+			}
+		}
+	}
+	goal := (layers-1)*n + int(f.Dst)
+	if math.IsInf(p.dist[goal], 1) {
+		return nil, 0, false
+	}
+	p.path = p.path[:0]
+	for node := goal; ; {
+		pe := p.pred[node]
+		if pe == 0 {
+			break
+		}
+		e := &g.edges[pe-1]
+		p.path = append(p.path, e.Index)
+		node = (e.Slot-first)*n + int(e.From)
+	}
+	// The walk above runs destination→source; traversal order is the reverse.
+	for i, j := 0, len(p.path)-1; i < j; i, j = i+1, j-1 {
+		p.path[i], p.path[j] = p.path[j], p.path[i]
+	}
+	return p.path, p.dist[goal], true
+}

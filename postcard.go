@@ -33,7 +33,6 @@
 package postcard
 
 import (
-	"fmt"
 	"io"
 	"strings"
 
@@ -95,6 +94,11 @@ type (
 	Result = core.Result
 	// StoragePolicy controls where store-and-forward holdovers may occur.
 	StoragePolicy = core.StoragePolicy
+	// PricingMode selects the LP formulation: per-arc flow variables
+	// (PricingArc, the default) or Dantzig–Wolfe path pricing (PricingPath).
+	PricingMode = core.PricingMode
+	// LPOptions tunes the underlying LP solver (Config.LP / WithLPOptions).
+	LPOptions = lp.Options
 	// UnroutableError reports structurally undeliverable files.
 	UnroutableError = core.UnroutableError
 	// IncrementalSolver is the warm-started slot-by-slot counterpart of
@@ -258,6 +262,18 @@ const (
 	StorageNone          = core.StorageNone
 )
 
+// Pricing modes for Config.Pricing (or WithPricing).
+const (
+	// PricingArc is the per-arc flow formulation with delayed column
+	// generation — exact and fast at paper scale.
+	PricingArc = core.PricingArc
+	// PricingPath is the Dantzig–Wolfe path decomposition: whole
+	// source→deadline path columns priced by per-file shortest-path oracles,
+	// built for 100+ datacenter overlays. Exact (certified against the arc
+	// model); falls back to an arc solve on infeasible instances.
+	PricingPath = core.PricingPath
+)
+
 // Flow-based baseline variants for FlowScheduler.Variant.
 const (
 	FlowLP       = sim.FlowLP
@@ -265,46 +281,6 @@ const (
 	FlowGreedy   = sim.FlowGreedy
 	FlowDirect   = sim.FlowDirect
 )
-
-// SchedulerNames lists the scheduler names understood by SchedulerByName.
-func SchedulerNames() []string {
-	return []string{"postcard", "postcard-warm", "postcard-fast", "postcard-fast-only", "postcard-nostore", "flow-based", "flow-two-phase", "flow-greedy", "direct"}
-}
-
-// SchedulerByName builds a Scheduler from its command-line name:
-// "postcard", "postcard-warm" (the incremental warm-started solver),
-// "postcard-fast" (allocate-on-arrival admission with background LP
-// republish), "postcard-fast-only" (the pure fast path, no republish),
-// "postcard-nostore" (intermediate storage disabled),
-// "flow-based", "flow-two-phase", "flow-greedy", or "direct".
-func SchedulerByName(name string) (Scheduler, error) {
-	switch name {
-	case "postcard":
-		return &PostcardScheduler{}, nil
-	case "postcard-warm":
-		return &PostcardScheduler{WarmStart: true}, nil
-	case "postcard-fast":
-		return &FastScheduler{}, nil
-	case "postcard-fast-only":
-		return &FastScheduler{NoRepublish: true}, nil
-	case "postcard-nostore":
-		return &PostcardScheduler{
-			Label:  "postcard-nostore",
-			Config: &Config{Storage: StorageEndpointsOnly},
-		}, nil
-	case "flow-based":
-		return &FlowScheduler{Variant: FlowLP}, nil
-	case "flow-two-phase":
-		return &FlowScheduler{Variant: FlowTwoPhase}, nil
-	case "flow-greedy":
-		return &FlowScheduler{Variant: FlowGreedy}, nil
-	case "direct":
-		return &FlowScheduler{Variant: FlowDirect}, nil
-	default:
-		return nil, fmt.Errorf("postcard: unknown scheduler %q (known: %s)",
-			name, strings.Join(SchedulerNames(), ", "))
-	}
-}
 
 // NewNetwork creates a network with n datacenters and no links.
 func NewNetwork(n int) (*Network, error) { return netmodel.NewNetwork(n) }
@@ -387,6 +363,10 @@ func VerifySchedule(s *Schedule, nw *Network, files []File, cfg VerifyConfig) er
 	return schedule.Verify(s, nw, files, cfg)
 }
 
+// ErrInfeasible marks demand a Scheduler cannot fit under the residual
+// capacity; the simulation engine sheds files and retries on it.
+var ErrInfeasible = sim.ErrInfeasible
+
 // Run executes one online simulation of the scheduler over the workload.
 func Run(ledger *Ledger, sched Scheduler, gen WorkloadGenerator, slots int) (*RunStats, error) {
 	return sim.Run(ledger, sched, gen, slots)
@@ -404,6 +384,11 @@ func PaperScale() Scale { return sim.PaperScale() }
 
 // CIScale is the reduced scale that preserves the paper's regimes.
 func CIScale() Scale { return sim.CIScale() }
+
+// DCScale is a fixed-workload scale for solver scaling studies: the file
+// stream stays constant while the overlay grows to dcs datacenters, so
+// solve-time differences isolate model size (see the PR 9 figure runs).
+func DCScale(dcs int) Scale { return sim.DCScale(dcs) }
 
 // EvalSettings returns the paper's four evaluation settings (Figs. 4-7).
 func EvalSettings() []EvalSetting { return netmodel.EvalSettings() }

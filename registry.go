@@ -1,0 +1,107 @@
+package postcard
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SchedulerInfo describes one named scheduler in the registry: the
+// command-line name, a one-line description for help output, and a factory
+// producing a fresh instance (schedulers are stateful, so every simulation
+// needs its own).
+type SchedulerInfo struct {
+	Name        string
+	Description string
+	New         func() Scheduler
+}
+
+// Schedulers returns the registry of named schedulers, in display order:
+// the Postcard variants first, then the flow-based baselines. The CLIs
+// resolve -scheduler flags against it and print it for "-schedulers help";
+// library callers can iterate it to run every scheduler in one experiment.
+func Schedulers() []SchedulerInfo {
+	return []SchedulerInfo{
+		{
+			Name:        "postcard",
+			Description: "the paper's optimizer: joint routing/scheduling LP on the time-expanded graph",
+			New:         func() Scheduler { return &PostcardScheduler{} },
+		},
+		{
+			Name:        "postcard-warm",
+			Description: "postcard with the incremental solver: graph skeleton and simplex basis reused across slots",
+			New:         func() Scheduler { return &PostcardScheduler{WarmStart: true} },
+		},
+		{
+			Name:        "postcard-path",
+			Description: "postcard with Dantzig-Wolfe path pricing (built for 100+ DC overlays), warm-started",
+			New: func() Scheduler {
+				return &PostcardScheduler{
+					Label:     "postcard-path",
+					WarmStart: true,
+					Config:    &Config{Pricing: PricingPath},
+				}
+			},
+		},
+		{
+			Name:        "postcard-fast",
+			Description: "allocate-on-arrival admission fast path with background LP republish",
+			New:         func() Scheduler { return &FastScheduler{} },
+		},
+		{
+			Name:        "postcard-fast-only",
+			Description: "the pure admission fast path, no background re-optimization",
+			New:         func() Scheduler { return &FastScheduler{NoRepublish: true} },
+		},
+		{
+			Name:        "postcard-nostore",
+			Description: "postcard with intermediate store-and-forward disabled (endpoints may still hold)",
+			New: func() Scheduler {
+				return &PostcardScheduler{
+					Label:  "postcard-nostore",
+					Config: &Config{Storage: StorageEndpointsOnly},
+				}
+			},
+		},
+		{
+			Name:        "flow-based",
+			Description: "the paper's flow-based baseline: optimal static per-file rates from one LP",
+			New:         func() Scheduler { return &FlowScheduler{Variant: FlowLP} },
+		},
+		{
+			Name:        "flow-two-phase",
+			Description: "the paper's literal two-phase flow decomposition",
+			New:         func() Scheduler { return &FlowScheduler{Variant: FlowTwoPhase} },
+		},
+		{
+			Name:        "flow-greedy",
+			Description: "cheapest-available-path greedy heuristic",
+			New:         func() Scheduler { return &FlowScheduler{Variant: FlowGreedy} },
+		},
+		{
+			Name:        "direct",
+			Description: "every file on its direct link, no routing at all",
+			New:         func() Scheduler { return &FlowScheduler{Variant: FlowDirect} },
+		},
+	}
+}
+
+// SchedulerNames lists the registry's scheduler names in display order.
+func SchedulerNames() []string {
+	infos := Schedulers()
+	names := make([]string, len(infos))
+	for i, info := range infos {
+		names[i] = info.Name
+	}
+	return names
+}
+
+// SchedulerByName builds a fresh Scheduler from its registry name.
+func SchedulerByName(name string) (Scheduler, error) {
+	for _, info := range Schedulers() {
+		if info.Name == name {
+			return info.New(), nil
+		}
+	}
+	return nil, fmt.Errorf("postcard: unknown scheduler %q (known: %s)",
+		name, strings.Join(SchedulerNames(), ", "))
+}

@@ -24,6 +24,13 @@
 #                          admission-latency gate (target < 1e6, i.e.
 #                          p99 under one millisecond, no LP on the hot
 #                          path).
+#   BenchmarkFig4DC16/DC64/DC128
+#                          the PR 9 scaling study: Dantzig-Wolfe path
+#                          pricing vs the warm arc solver on a fixed file
+#                          stream over a growing overlay (DC128 runs path
+#                          only). postcard-path-lazy-rows and
+#                          postcard-path-path-fallbacks gate the lazy
+#                          master; the two cost/slot series must agree.
 #
 # Usage:  scripts/bench.sh [-o output.json]
 # Env:    BENCH_OUT    output path (default BENCH_<yyyymmdd>.json;
@@ -50,7 +57,7 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench '^(BenchmarkFig4|BenchmarkFig4WarmStart|BenchmarkFig5|BenchmarkFig7|BenchmarkPostcardSolve|BenchmarkPoissonAdmission)$' \
+  -bench '^(BenchmarkFig4|BenchmarkFig4WarmStart|BenchmarkFig5|BenchmarkFig7|BenchmarkPostcardSolve|BenchmarkPoissonAdmission|BenchmarkFig4DC16|BenchmarkFig4DC64|BenchmarkFig4DC128)$' \
   -benchmem -count "$count" . | tee "$raw"
 
 python3 - "$raw" "$out" <<'PYEOF'
