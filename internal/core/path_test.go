@@ -238,6 +238,70 @@ func TestPathPricingIncrementalSolver(t *testing.T) {
 	}
 }
 
+// TestPathPricingRecyclesColumns drives the warm Solver in path mode over
+// consecutive slots with a recurring traffic pattern: the same (src, dst)
+// pairs reappear each slot, so path columns harvested from one slot's
+// optimal basis should seed the next slot's master and be counted in
+// SolveStats.PathRecycled. Recycling is a warm start, never a restriction —
+// every slot must still match the stateless arc solve of the same state.
+func TestPathPricingRecyclesColumns(t *testing.T) {
+	ledger, _ := pathTestInstance(t, 6, 50, 23)
+	shadow, _ := pathTestInstance(t, 6, 50, 23)
+	solver := NewSolver(&Config{Pricing: PricingPath})
+	pairs := []netmodel.Link{{From: 0, To: 3}, {From: 1, To: 4}, {From: 5, To: 2}}
+	for slot := 0; slot < 4; slot++ {
+		files := make([]netmodel.File, len(pairs))
+		for k, p := range pairs {
+			files[k] = netmodel.File{
+				ID: slot*10 + k, Src: p.From, Dst: p.To,
+				Size: 8 + float64(k), Release: slot, Deadline: 3,
+			}
+		}
+		res, err := solver.Solve(ledger, files, slot)
+		if err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+		ref, err := Solve(shadow, files, slot, nil)
+		if err != nil {
+			t.Fatalf("slot %d: arc reference: %v", slot, err)
+		}
+		if res.Status != ref.Status {
+			t.Fatalf("slot %d: path status %v, arc %v", slot, res.Status, ref.Status)
+		}
+		if res.Status != lp.Optimal {
+			t.Fatalf("slot %d: expected optimal, got %v", slot, res.Status)
+		}
+		tol := 1e-3 * (1 + math.Abs(ref.CostPerSlot))
+		if math.Abs(res.CostPerSlot-ref.CostPerSlot) > tol {
+			t.Fatalf("slot %d: path objective %v, arc %v", slot, res.CostPerSlot, ref.CostPerSlot)
+		}
+		if slot == 0 && res.PathRecycled != 0 {
+			t.Errorf("slot 0 recycled %d columns with an empty retention cache", res.PathRecycled)
+		}
+		if err := res.Schedule.Apply(ledger); err != nil {
+			t.Fatalf("slot %d: applying plan: %v", slot, err)
+		}
+		if err := res.Schedule.Apply(shadow); err != nil {
+			t.Fatalf("slot %d: applying to shadow: %v", slot, err)
+		}
+	}
+	stats := solver.Stats()
+	if stats.PathRecycled == 0 {
+		t.Error("warm path solver recycled no columns across recurring-demand slots")
+	}
+	// Reset must drop the retained paths along with the warm maps: a fresh
+	// epoch's first solve starts from an empty cache again.
+	solver.Reset()
+	files := []netmodel.File{{ID: 100, Src: 0, Dst: 3, Size: 10, Release: 6, Deadline: 3}}
+	res, err := solver.Solve(ledger, files, 6)
+	if err != nil {
+		t.Fatalf("post-reset solve: %v", err)
+	}
+	if res.PathRecycled != 0 {
+		t.Errorf("post-Reset solve recycled %d columns; retention cache not cleared", res.PathRecycled)
+	}
+}
+
 // FuzzPathPricingObjective is the PR 9 equivalence gate: on random
 // ring-plus-chords instances, Dantzig–Wolfe path pricing must report the
 // same LP status and optimal objective as both the arc-colgen default and

@@ -74,6 +74,13 @@ type Config struct {
 	// concurrently under PricingPath; <= 0 selects GOMAXPROCS. Results are
 	// bit-identical for every worker count.
 	PricingWorkers int
+	// LPBackend selects the simplex compute backend ("serial" or
+	// "parallel"; empty selects serial). It overrides any Backend set in
+	// LP. Both backends produce bit-identical results; see lp.Options.
+	LPBackend string
+	// LPWorkers sets the parallel LP backend's pool size; <= 0 selects
+	// GOMAXPROCS. Worker count affects only wall-clock, never results.
+	LPWorkers int
 }
 
 func (c *Config) withDefaults() Config {
@@ -85,6 +92,24 @@ func (c *Config) withDefaults() Config {
 		out.Epsilon = 1e-6
 	}
 	return out
+}
+
+// lpOptions materializes the solver options for one LP solve: the caller's
+// LP overrides, with the Config-level backend selection layered on top.
+// Every solve the optimizer issues goes through here, so -lp-backend
+// reaches the arc model, the path master, and the arc fallback alike.
+func (c Config) lpOptions() lp.Options {
+	opts := lp.Options{}
+	if c.LP != nil {
+		opts = *c.LP
+	}
+	if c.LPBackend != "" {
+		opts.Backend = c.LPBackend
+	}
+	if c.LPWorkers != 0 {
+		opts.BackendWorkers = c.LPWorkers
+	}
+	return opts
 }
 
 // Result is the outcome of one Postcard optimization.
@@ -123,6 +148,22 @@ type Result struct {
 	// restarts and full reduced-cost recomputations inside the simplex.
 	DevexResets    int
 	DualRecomputes int
+	// BackendWorkers is the LP compute backend's worker count (1 under the
+	// serial backend) — a configuration gauge that never affects results.
+	// DevexScans counts full devex pricing scans, ParallelScans the subset
+	// that fanned across the backend pool, and SpecFtrans/SpecFtranHits the
+	// speculative entering-column solves launched and the ones that served
+	// an actual entering column. All four are worker-count-independent.
+	BackendWorkers int
+	DevexScans     int
+	ParallelScans  int
+	SpecFtrans     int
+	SpecFtranHits  int
+	// PathRecycled counts path columns seeded into this solve's restricted
+	// master because they were active in the previous slot's optimum (the
+	// warm Solver's cross-slot column recycling; always zero under
+	// PricingArc and for stateless solves).
+	PathRecycled int
 	// VarUniverse is the number of per-file transfer/holdover columns in
 	// the pruned universe — what a full (non-column-generated) model would
 	// materialize. Variables reports how many columns actually exist after
@@ -198,10 +239,7 @@ func Solve(ledger *netmodel.Ledger, files []netmodel.File, t int, cfg *Config) (
 	if err != nil {
 		return nil, err
 	}
-	opts := lp.Options{}
-	if conf.LP != nil {
-		opts = *conf.LP
-	}
+	opts := conf.lpOptions()
 	crashed := false
 	if opts.InitialBasis == nil {
 		opts.InitialBasis = crashBasis(b)
@@ -299,10 +337,7 @@ func solvePathStateless(tg *timegraph.Graph, ledger *netmodel.Ledger, files []ne
 	if err := pb.build(); err != nil {
 		return nil, err
 	}
-	opts := lp.Options{}
-	if conf.LP != nil {
-		opts = *conf.LP
-	}
+	opts := conf.lpOptions()
 	crashed := false
 	if opts.InitialBasis == nil {
 		opts.InitialBasis = pathCrashBasis(pb)
@@ -329,10 +364,7 @@ func solveArcFallback(tg *timegraph.Graph, ledger *netmodel.Ledger, files []netm
 	if err := b.build(); err != nil {
 		return nil, err
 	}
-	opts := lp.Options{}
-	if conf.LP != nil {
-		opts = *conf.LP
-	}
+	opts := conf.lpOptions()
 	opts.InitialBasis = crashBasis(b)
 	res, _, err := b.solve(&opts)
 	if err != nil {
@@ -343,6 +375,11 @@ func solveArcFallback(tg *timegraph.Graph, ledger *netmodel.Ledger, files []netm
 	res.Iterations += pathRes.Iterations
 	res.Phase1Iter += pathRes.Phase1Iter
 	res.ColGenRounds += pathRes.ColGenRounds
+	res.DevexScans += pathRes.DevexScans
+	res.ParallelScans += pathRes.ParallelScans
+	res.SpecFtrans += pathRes.SpecFtrans
+	res.SpecFtranHits += pathRes.SpecFtranHits
+	res.PathRecycled += pathRes.PathRecycled
 	return res, nil
 }
 
@@ -377,6 +414,11 @@ func (b *builder) solve(opts *lp.Options) (*Result, *lp.Solution, error) {
 		SolveDim:       sol.SolveDim,
 		DevexResets:    sol.DevexResets,
 		DualRecomputes: sol.DualRecomputes,
+		BackendWorkers: sol.BackendWorkers,
+		DevexScans:     sol.DevexScans,
+		ParallelScans:  sol.ParallelScans,
+		SpecFtrans:     sol.SpecFtrans,
+		SpecFtranHits:  sol.SpecFtranHits,
 		VarUniverse:    b.varUniverse,
 		PrunedVars:     b.prunedVars,
 		PrunedRows:     b.prunedRows,

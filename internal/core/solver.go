@@ -39,6 +39,20 @@ type SolveStats struct {
 	// restarts and full reduced-cost recomputations.
 	DevexResets    int
 	DualRecomputes int
+	// BackendWorkers is the LP compute backend's worker count (a gauge,
+	// not a counter: Add keeps the maximum seen, Sub keeps the newer
+	// snapshot's value). DevexScans, ParallelScans, SpecFtrans and
+	// SpecFtranHits total the backend's pricing-scan and speculative-FTRAN
+	// work; all four are bit-identical for every worker count.
+	BackendWorkers int
+	DevexScans     int
+	ParallelScans  int
+	SpecFtrans     int
+	SpecFtranHits  int
+	// PathRecycled totals the path columns seeded into restricted masters
+	// because they were active in the previous slot's optimum (the warm
+	// solver's cross-slot column recycling; zero under PricingArc).
+	PathRecycled int
 	// VarUniverse totals the per-file column universes of the solved models;
 	// PrunedVars and PrunedRows total the variables and conservation rows
 	// deadline-reachability pruning removed before model assembly.
@@ -72,8 +86,13 @@ type SolveStats struct {
 	RepublishDelta float64
 }
 
-// Add returns the element-wise sum of two stat snapshots.
+// Add returns the element-wise sum of two stat snapshots (the
+// BackendWorkers gauge keeps the maximum of the two sides).
 func (s SolveStats) Add(o SolveStats) SolveStats {
+	workers := s.BackendWorkers
+	if o.BackendWorkers > workers {
+		workers = o.BackendWorkers
+	}
 	return SolveStats{
 		Solves:         s.Solves + o.Solves,
 		WarmSolves:     s.WarmSolves + o.WarmSolves,
@@ -88,6 +107,12 @@ func (s SolveStats) Add(o SolveStats) SolveStats {
 		SolveDim:       s.SolveDim + o.SolveDim,
 		DevexResets:    s.DevexResets + o.DevexResets,
 		DualRecomputes: s.DualRecomputes + o.DualRecomputes,
+		BackendWorkers: workers,
+		DevexScans:     s.DevexScans + o.DevexScans,
+		ParallelScans:  s.ParallelScans + o.ParallelScans,
+		SpecFtrans:     s.SpecFtrans + o.SpecFtrans,
+		SpecFtranHits:  s.SpecFtranHits + o.SpecFtranHits,
+		PathRecycled:   s.PathRecycled + o.PathRecycled,
 		VarUniverse:    s.VarUniverse + o.VarUniverse,
 		PrunedVars:     s.PrunedVars + o.PrunedVars,
 		PrunedRows:     s.PrunedRows + o.PrunedRows,
@@ -106,7 +131,8 @@ func (s SolveStats) Add(o SolveStats) SolveStats {
 }
 
 // Sub returns the element-wise difference s - o, turning two cumulative
-// snapshots into the work performed between them.
+// snapshots into the work performed between them (the BackendWorkers gauge
+// keeps the newer snapshot's value).
 func (s SolveStats) Sub(o SolveStats) SolveStats {
 	return SolveStats{
 		Solves:         s.Solves - o.Solves,
@@ -122,6 +148,12 @@ func (s SolveStats) Sub(o SolveStats) SolveStats {
 		SolveDim:       s.SolveDim - o.SolveDim,
 		DevexResets:    s.DevexResets - o.DevexResets,
 		DualRecomputes: s.DualRecomputes - o.DualRecomputes,
+		BackendWorkers: s.BackendWorkers,
+		DevexScans:     s.DevexScans - o.DevexScans,
+		ParallelScans:  s.ParallelScans - o.ParallelScans,
+		SpecFtrans:     s.SpecFtrans - o.SpecFtrans,
+		SpecFtranHits:  s.SpecFtranHits - o.SpecFtranHits,
+		PathRecycled:   s.PathRecycled - o.PathRecycled,
 		VarUniverse:    s.VarUniverse - o.VarUniverse,
 		PrunedVars:     s.PrunedVars - o.PrunedVars,
 		PrunedRows:     s.PrunedRows - o.PrunedRows,
@@ -175,6 +207,13 @@ type Solver struct {
 	bld  *builder
 	pbld *pathBuilder
 
+	// retain holds, per (src, dst) pair, the node sequences of the path
+	// columns active in the previous slot's optimum. The next slot's path
+	// master re-materializes them (shifted to each new file's release
+	// layer) before its first pricing round, so the restricted master
+	// starts from last slot's proven routes instead of artificials alone.
+	retain map[netmodel.Link][][]netmodel.DC
+
 	stats SolveStats
 }
 
@@ -197,6 +236,9 @@ func (s *Solver) Reset() {
 	s.basis = nil
 	s.cols = nil
 	s.rows = nil
+	// Retained paths name datacenters of the old network; a different
+	// network invalidates them wholesale.
+	clear(s.retain)
 }
 
 // Solve computes the optimal Postcard plan for the files generated at slot
@@ -232,10 +274,7 @@ func (s *Solver) Solve(ledger *netmodel.Ledger, files []netmodel.File, t int) (*
 		return nil, err
 	}
 	s.bld = b
-	opts := lp.Options{}
-	if s.conf.LP != nil {
-		opts = *s.conf.LP
-	}
+	opts := s.conf.lpOptions()
 	opts.Presolve = true
 	snapshot := false
 	if s.valid && s.basis != nil {
@@ -277,10 +316,14 @@ func (s *Solver) solvePath(tg *timegraph.Graph, ledger *netmodel.Ledger, files [
 	if err := pb.build(); err != nil {
 		return nil, err
 	}
-	opts := lp.Options{}
-	if s.conf.LP != nil {
-		opts = *s.conf.LP
+	// Seed the restricted master with the previous slot's active paths
+	// before the first pricing round, so generation starts from proven
+	// routes instead of re-deriving them from artificials.
+	recycled, err := s.seedRetainedPaths(pb)
+	if err != nil {
+		return nil, err
 	}
+	opts := s.conf.lpOptions()
 	opts.Presolve = true
 	snapshot := false
 	if s.valid && s.basis != nil {
@@ -298,16 +341,158 @@ func (s *Solver) solvePath(tg *timegraph.Graph, ledger *netmodel.Ledger, files [
 		return nil, err
 	}
 	res.WarmStarted = res.WarmStarted && snapshot
+	res.PathRecycled = recycled
 	if fallback {
 		res, err = solveArcFallback(tg, ledger, files, reach, s.conf, res)
 		if err != nil {
 			return nil, err
 		}
+	} else {
+		s.harvestPaths(pb, sol)
 	}
 	s.record(res)
 	s.stats.PathSolves++
 	s.cache(t, sol, pb.colKeys, pb.rowKeys)
 	return res, nil
+}
+
+// maxRetainedPaths caps how many node sequences one (src, dst) pair
+// retains across slots; the previous optimum rarely splits one pair's
+// demand across more routes than this, and the cap bounds the seeding work
+// on adversarial optima.
+const maxRetainedPaths = 8
+
+// harvestPaths records the node sequences of the path columns that carry
+// flow in the slot's optimum, keyed by (src, dst), replacing the previous
+// harvest. Node sequences — not edge indices — survive Rebase and apply to
+// next slot's files at any release layer.
+func (s *Solver) harvestPaths(pb *pathBuilder, sol *lp.Solution) {
+	const tol = 1e-5
+	if s.retain == nil {
+		s.retain = make(map[netmodel.Link][][]netmodel.DC)
+	}
+	clear(s.retain)
+	for _, c := range pb.cols {
+		if sol.Value(c.v) <= tol {
+			continue
+		}
+		f := pb.files[c.file]
+		key := netmodel.Link{From: f.Src, To: f.Dst}
+		if len(s.retain[key]) >= maxRetainedPaths {
+			continue
+		}
+		nodes := make([]netmodel.DC, 0, int(c.end-c.start)+1)
+		nodes = append(nodes, f.Src)
+		cur := f.Src
+		contiguous := true
+		for _, idx := range pb.arena[c.start:c.end] {
+			e := pb.tg.Edge(int(idx))
+			if e.From != cur {
+				contiguous = false
+				break
+			}
+			nodes = append(nodes, e.To)
+			cur = e.To
+		}
+		if !contiguous || cur != f.Dst {
+			continue
+		}
+		dup := false
+		for _, p := range s.retain[key] {
+			if dcSeqEqual(p, nodes) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			s.retain[key] = append(s.retain[key], nodes)
+		}
+	}
+}
+
+// dcSeqEqual reports whether two node sequences are identical.
+func dcSeqEqual(a, b []netmodel.DC) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// seedRetainedPaths re-materializes the retained node sequences as path
+// columns of the freshly built master: for each file, every retained path
+// of its (src, dst) pair is shifted to the file's release layer, checked
+// edge by edge against the graph, the storage policy and the file's
+// reachability window (trailing destination holds that overrun a shorter
+// deadline are trimmed), and grafted via the same materializePath the
+// pricing oracle uses — so duplicates the oracle would regenerate are
+// dropped and all lazily created rows follow the ordinary path. It returns
+// the number of columns actually added.
+func (s *Solver) seedRetainedPaths(pb *pathBuilder) (int, error) {
+	if len(s.retain) == 0 {
+		return 0, nil
+	}
+	horizon := pb.tg.Start() + pb.tg.Horizon()
+	var edges []int32
+	recycled := 0
+	for k, f := range pb.files {
+		paths := s.retain[netmodel.Link{From: f.Src, To: f.Dst}]
+		if len(paths) == 0 {
+			continue
+		}
+		r := pb.reach[k]
+		for _, nodes := range paths {
+			nsteps := len(nodes) - 1
+			for nsteps > f.Deadline && nodes[nsteps] == f.Dst && nodes[nsteps-1] == f.Dst {
+				nsteps--
+			}
+			if nsteps <= 0 || nsteps > f.Deadline || f.Release+nsteps > horizon {
+				continue
+			}
+			edges = edges[:0]
+			usable := true
+			for i := 0; i < nsteps; i++ {
+				from, to := nodes[i], nodes[i+1]
+				slot := f.Release + i
+				e, found := pb.tg.EdgeAt(from, to, slot)
+				if !found {
+					usable = false
+					break
+				}
+				if e.Storage {
+					switch pb.conf.Storage {
+					case StorageEndpointsOnly:
+						usable = from == f.Src || from == f.Dst
+					case StorageNone:
+						usable = false
+					}
+					if !usable {
+						break
+					}
+				}
+				if !r.Allowed(f, from, slot) || !r.Allowed(f, to, slot+1) {
+					usable = false
+					break
+				}
+				edges = append(edges, int32(e.Index))
+			}
+			if !usable {
+				continue
+			}
+			before := len(pb.cols)
+			if err := pb.materializePath(k, edges); err != nil {
+				return recycled, err
+			}
+			if len(pb.cols) > before {
+				recycled++
+			}
+		}
+	}
+	return recycled, nil
 }
 
 // record folds one solve's counters into the cumulative stats.
@@ -323,6 +508,14 @@ func (s *Solver) record(res *Result) {
 	s.stats.SolveDim += res.SolveDim
 	s.stats.DevexResets += res.DevexResets
 	s.stats.DualRecomputes += res.DualRecomputes
+	if res.BackendWorkers > s.stats.BackendWorkers {
+		s.stats.BackendWorkers = res.BackendWorkers
+	}
+	s.stats.DevexScans += res.DevexScans
+	s.stats.ParallelScans += res.ParallelScans
+	s.stats.SpecFtrans += res.SpecFtrans
+	s.stats.SpecFtranHits += res.SpecFtranHits
+	s.stats.PathRecycled += res.PathRecycled
 	s.stats.VarUniverse += res.VarUniverse
 	s.stats.PrunedVars += res.PrunedVars
 	s.stats.PrunedRows += res.PrunedRows

@@ -1,0 +1,243 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/interdc/postcard/internal/lp/backend"
+)
+
+// solveWithBackend solves m on the named backend, failing the test on a
+// solver error.
+func solveWithBackend(t *testing.T, m *Model, name string, workers int) *Solution {
+	t.Helper()
+	sol, err := m.Solve(&Options{Backend: name, BackendWorkers: workers})
+	if err != nil {
+		t.Fatalf("Solve(backend=%s, workers=%d): %v", name, workers, err)
+	}
+	return sol
+}
+
+// assertBitIdentical asserts that two solves of the same model followed the
+// exact same pivot trajectory: identical status, iteration counts, solve
+// counters, and bit-for-bit equal primal/dual vectors. The backend-specific
+// counters (ParallelScans, SpecFtrans, SpecFtranHits, BackendWorkers) are
+// deliberately excluded — they describe how the work was executed, not what
+// was computed.
+func assertBitIdentical(t *testing.T, label string, a, b *Solution) {
+	t.Helper()
+	if a.Status != b.Status {
+		t.Fatalf("%s: status %v vs %v", label, a.Status, b.Status)
+	}
+	if a.Objective != b.Objective {
+		t.Fatalf("%s: objective %v vs %v (not bit-identical)", label, a.Objective, b.Objective)
+	}
+	if a.Iterations != b.Iterations || a.Phase1Iter != b.Phase1Iter {
+		t.Fatalf("%s: iterations %d/%d vs %d/%d", label, a.Iterations, a.Phase1Iter, b.Iterations, b.Phase1Iter)
+	}
+	if a.Factorized != b.Factorized {
+		t.Fatalf("%s: factorizations %d vs %d", label, a.Factorized, b.Factorized)
+	}
+	if a.SparseSolves != b.SparseSolves || a.DenseSolves != b.DenseSolves ||
+		a.SolveNNZ != b.SolveNNZ || a.SolveDim != b.SolveDim {
+		t.Fatalf("%s: solve counters (%d,%d,%d,%d) vs (%d,%d,%d,%d)", label,
+			a.SparseSolves, a.DenseSolves, a.SolveNNZ, a.SolveDim,
+			b.SparseSolves, b.DenseSolves, b.SolveNNZ, b.SolveDim)
+	}
+	if a.DevexResets != b.DevexResets || a.DualRecomputes != b.DualRecomputes ||
+		a.DevexScans != b.DevexScans {
+		t.Fatalf("%s: devex counters (%d,%d,%d) vs (%d,%d,%d)", label,
+			a.DevexResets, a.DualRecomputes, a.DevexScans,
+			b.DevexResets, b.DualRecomputes, b.DevexScans)
+	}
+	for j := range a.X {
+		if a.X[j] != b.X[j] {
+			t.Fatalf("%s: X[%d] = %v vs %v (not bit-identical)", label, j, a.X[j], b.X[j])
+		}
+	}
+	for i := range a.Dual {
+		if a.Dual[i] != b.Dual[i] {
+			t.Fatalf("%s: Dual[%d] = %v vs %v (not bit-identical)", label, i, a.Dual[i], b.Dual[i])
+		}
+	}
+}
+
+// TestSerialVsParallelBitIdentity is the backend determinism contract as a
+// test: the parallel backend must reproduce the serial backend's pivot
+// trajectory bit-for-bit — not merely the same objective — at every worker
+// count, because the range-partitioned scans reduce with a fixed tie-break
+// and the row walks preserve serial accumulation order.
+func TestSerialVsParallelBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		m := randomFlowModel(rng)
+		ref := solveWithBackend(t, m, backend.NameSerial, 1)
+		for _, w := range []int{1, 2, 3, 4, 7} {
+			got := solveWithBackend(t, m, backend.NameParallel, w)
+			assertBitIdentical(t, "serial vs parallel", ref, got)
+			if got.BackendWorkers != w {
+				t.Fatalf("trial %d: BackendWorkers = %d, want %d", trial, got.BackendWorkers, w)
+			}
+			if got.ParallelScans > got.DevexScans {
+				t.Fatalf("trial %d: ParallelScans %d > DevexScans %d", trial, got.ParallelScans, got.DevexScans)
+			}
+			if got.SpecFtranHits > got.SpecFtrans {
+				t.Fatalf("trial %d: SpecFtranHits %d > SpecFtrans %d", trial, got.SpecFtranHits, got.SpecFtrans)
+			}
+		}
+	}
+}
+
+// largeFlowModel builds a min-cost-flow LP big enough to cross the parallel
+// backend's fan-out threshold (cf.n + cf.m > 4096 columns including
+// slacks), the regime where PriceDevex, PivotRow and DualDelta actually
+// dispatch to the worker pool instead of taking their small-problem serial
+// branches.
+func largeFlowModel(rng *rand.Rand) *Model {
+	n := 110
+	src, sink := 0, n-1
+	demand := 1 + float64(rng.Intn(20))
+	m := NewModel()
+	type arc struct {
+		from, to int
+		v        VarID
+	}
+	var arcs []arc
+	add := func(from, to int, cap, cost float64) {
+		v := m.AddVariable(0, cap, cost, "")
+		arcs = append(arcs, arc{from, to, v})
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < 0.35 {
+				add(i, j, float64(1+rng.Intn(15)), float64(rng.Intn(10)))
+			}
+		}
+	}
+	add(src, sink, demand, 1000) // feasibility backstop, as in randomFlowModel
+	for v := 0; v < n; v++ {
+		var idx []VarID
+		var val []float64
+		for _, a := range arcs {
+			if a.from == v {
+				idx = append(idx, a.v)
+				val = append(val, 1)
+			}
+			if a.to == v {
+				idx = append(idx, a.v)
+				val = append(val, -1)
+			}
+		}
+		rhs := 0.0
+		switch v {
+		case src:
+			rhs = demand
+		case sink:
+			rhs = -demand
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		if _, err := m.AddConstraint(EQ, rhs, idx, val); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}
+
+// TestSerialVsParallelBitIdentityLarge is the fan-out regime's equivalence
+// check: on models above the parallel size threshold the range-partitioned
+// scans, pivot-row assembly and dual-delta walks actually run on the worker
+// pool, and must still reproduce the serial trajectory bit-for-bit.
+func TestSerialVsParallelBitIdentityLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 2; trial++ {
+		m := largeFlowModel(rng)
+		ref := solveWithBackend(t, m, backend.NameSerial, 1)
+		for _, w := range []int{2, 5} {
+			got := solveWithBackend(t, m, backend.NameParallel, w)
+			assertBitIdentical(t, "large serial vs parallel", ref, got)
+			if got.ParallelScans == 0 {
+				t.Fatalf("trial %d workers=%d: model never crossed the fan-out threshold (DevexScans=%d)",
+					trial, w, got.DevexScans)
+			}
+		}
+	}
+}
+
+// TestParallelCountersWorkerIndependent pins that every backend counter —
+// including the parallel-only ones — is a pure function of the problem, not
+// of the pool size: fan-out thresholds are size-only and the speculation
+// batch is a fixed constant.
+func TestParallelCountersWorkerIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		m := randomFlowModel(rng)
+		ref := solveWithBackend(t, m, backend.NameParallel, 1)
+		for _, w := range []int{2, 4, 8} {
+			got := solveWithBackend(t, m, backend.NameParallel, w)
+			if got.ParallelScans != ref.ParallelScans ||
+				got.SpecFtrans != ref.SpecFtrans ||
+				got.SpecFtranHits != ref.SpecFtranHits {
+				t.Fatalf("trial %d: backend counters vary with workers: w=1 (%d,%d,%d) vs w=%d (%d,%d,%d)",
+					trial, ref.ParallelScans, ref.SpecFtrans, ref.SpecFtranHits,
+					w, got.ParallelScans, got.SpecFtrans, got.SpecFtranHits)
+			}
+		}
+	}
+}
+
+// TestSerialBackendReportsNoParallelWork pins the default backend's counter
+// shape: the serial backend never fans out or speculates, so the only
+// backend counter it moves is DevexScans. The SolverTable backend sub-table
+// keys off exactly this (it renders only when parallel work happened), so
+// pre-backend goldens stay byte-identical.
+func TestSerialBackendReportsNoParallelWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomFlowModel(rng)
+	sol := solveWithBackend(t, m, backend.NameSerial, 4)
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if sol.BackendWorkers != 1 {
+		t.Fatalf("BackendWorkers = %d, want 1", sol.BackendWorkers)
+	}
+	if sol.DevexScans == 0 {
+		t.Fatal("DevexScans = 0; devex scans not counted")
+	}
+	if sol.ParallelScans != 0 || sol.SpecFtrans != 0 || sol.SpecFtranHits != 0 {
+		t.Fatalf("serial backend reported parallel work: scans=%d spec=%d hits=%d",
+			sol.ParallelScans, sol.SpecFtrans, sol.SpecFtranHits)
+	}
+}
+
+// TestUnknownBackendErrors pins the failure mode for a bad backend name:
+// the solve fails up front with a descriptive error instead of silently
+// falling back.
+func TestUnknownBackendErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomFlowModel(rng)
+	if _, err := m.Solve(&Options{Backend: "vectorized"}); err == nil {
+		t.Fatal("Solve with unknown backend succeeded, want error")
+	}
+}
+
+// FuzzSerialVsParallelSimplex drives the serial-vs-parallel equivalence
+// property from fuzzed model shapes and worker counts: whatever network LP
+// the seed generates, both backends must agree bit-for-bit on the solution
+// and trajectory. This is the backend analogue of the devex-vs-Dantzig and
+// sparse-vs-dense equivalence fuzzes.
+func FuzzSerialVsParallelSimplex(f *testing.F) {
+	f.Add(int64(1), uint8(2))
+	f.Add(int64(7), uint8(3))
+	f.Add(int64(42), uint8(8))
+	f.Add(int64(1234), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, workersRaw uint8) {
+		workers := 1 + int(workersRaw)%8
+		rng := rand.New(rand.NewSource(seed))
+		m := randomFlowModel(rng)
+		ref := solveWithBackend(t, m, backend.NameSerial, 1)
+		got := solveWithBackend(t, m, backend.NameParallel, workers)
+		assertBitIdentical(t, "fuzz serial vs parallel", ref, got)
+	})
+}

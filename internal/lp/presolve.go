@@ -325,12 +325,12 @@ func (ps *presolved) postsolve(r *Solution) *Solution {
 		PresolveCols: n - len(ps.keptCols),
 		PresolveRows: mr - len(ps.keptRows),
 
-		SparseSolves:    r.SparseSolves,
-		DenseSolves:     r.DenseSolves,
-		SolveNNZ:        r.SolveNNZ,
-		SolveDim:        r.SolveDim,
-		DevexResets:     r.DevexResets,
-		DualRecomputes:  r.DualRecomputes,
+		SparseSolves:   r.SparseSolves,
+		DenseSolves:    r.DenseSolves,
+		SolveNNZ:       r.SolveNNZ,
+		SolveDim:       r.SolveDim,
+		DevexResets:    r.DevexResets,
+		DualRecomputes: r.DualRecomputes,
 	}
 	if r.Basis != nil {
 		sol.Basis = ps.mapBasisOut(r.Basis)

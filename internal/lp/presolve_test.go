@@ -12,10 +12,10 @@ import (
 // original variables.
 func TestPresolveReducesAndMatches(t *testing.T) {
 	m := NewModel()
-	f := m.AddVariable(3, 3, 2, "fixed")     // fixed column: substituted out
-	x := m.AddVariable(0, 10, 1, "x")        // singleton row folds x <= 4
-	y := m.AddVariable(0, 10, 1.5, "y")      // stays
-	u := m.AddVariable(0, 7, 5, "unconstr")  // no rows: rests at lower bound
+	f := m.AddVariable(3, 3, 2, "fixed")    // fixed column: substituted out
+	x := m.AddVariable(0, 10, 1, "x")       // singleton row folds x <= 4
+	y := m.AddVariable(0, 10, 1.5, "y")     // stays
+	u := m.AddVariable(0, 7, 5, "unconstr") // no rows: rests at lower bound
 	mustCon(t, m, LE, 4, []VarID{x}, []float64{1})
 	mustCon(t, m, GE, 9, []VarID{x, y, f}, []float64{1, 1, 1}) // with f=3: x+y >= 6
 	mustCon(t, m, LE, 2, []VarID{f}, []float64{0})             // vacuous 0 <= 2

@@ -28,20 +28,28 @@ type PatternWorkspace struct {
 	pat    []int     // result pattern handed back to the caller
 }
 
-// Ensure sizes the workspace for dimension-n solves.
+// Ensure sizes the workspace for dimension-n solves. The float64 and int
+// scratch each live in one contiguous slab carved into fixed-capacity
+// sub-slices (three-index slicing pins every capacity, so append never
+// crosses a neighbor): two cache-adjacent n-vectors for the numeric
+// substitutions, six for the pattern walk. Each sub-slice has capacity
+// exactly n — the DFS visits each node at most once per phase, so none of
+// the appends can outgrow its segment.
 func (ws *PatternWorkspace) Ensure(n int) {
 	if len(ws.x) >= n {
 		return
 	}
-	ws.x = make([]float64, n)
-	ws.b = make([]float64, n)
+	fs := make([]float64, 2*n)
+	ws.x = fs[0*n : 1*n : 1*n]
+	ws.b = fs[1*n : 2*n : 2*n]
+	is := make([]int, 6*n)
+	ws.cursor = is[0*n : 1*n : 1*n]
+	ws.stack = is[1*n : 1*n : 2*n]
+	ws.topo = is[2*n : 2*n : 3*n]
+	ws.topo2 = is[3*n : 3*n : 4*n]
+	ws.seed = is[4*n : 4*n : 5*n]
+	ws.pat = is[5*n : 5*n : 6*n]
 	ws.mark = make([]bool, n)
-	ws.cursor = make([]int, n)
-	ws.stack = make([]int, 0, n)
-	ws.topo = make([]int, 0, n)
-	ws.topo2 = make([]int, 0, n)
-	ws.seed = make([]int, 0, n)
-	ws.pat = make([]int, 0, n)
 }
 
 // reach appends to topo the post-order of every node reachable from seeds

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/interdc/postcard/internal/core"
+	"github.com/interdc/postcard/internal/netmodel"
+)
+
+// TestBackendWorkerCountBitIdentity is the online end of the parallel LP
+// backend's determinism contract: a full Figure 4 run on the parallel
+// backend must produce the identical rendered solver table — every counter,
+// including the backend section — and the identical final cost at every
+// worker-pool width. The table deliberately never prints the worker count,
+// so byte equality is the strongest possible check here.
+//
+// CI-scale LPs sit below the parallel scan's size threshold, so the fanned
+// pricing path is exercised by the lp package's own equivalence tests and
+// fuzz; what this run drives across worker counts is the speculative-FTRAN
+// machinery (batching, collection, invalidation across refactorizations),
+// which is not size-gated and is the part with cross-iteration state.
+func TestBackendWorkerCountBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run skipped in -short mode")
+	}
+	setting, err := netmodel.SettingByFigure(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := CIScale()
+	scale.Runs = 1
+	var refTable string
+	var refCost float64
+	for _, w := range []int{1, 2, 3, 8} {
+		sched := &Postcard{
+			WarmStart: true,
+			Config:    &core.Config{LPBackend: "parallel", LPWorkers: w},
+		}
+		res, err := RunFigure(FigureConfig{
+			Setting:    setting,
+			Scale:      scale,
+			Schedulers: []Scheduler{sched},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		table := res.SolverTable()
+		cost := res.Schedulers[0].Final.Mean
+		st := res.Schedulers[0].Solver
+		if st.SpecFtrans == 0 {
+			t.Fatalf("workers=%d: parallel backend never speculated an FTRAN (DevexScans=%d)", w, st.DevexScans)
+		}
+		if st.BackendWorkers != w {
+			t.Fatalf("workers=%d: BackendWorkers=%d", w, st.BackendWorkers)
+		}
+		if w == 1 {
+			refTable, refCost = table, cost
+			continue
+		}
+		if cost != refCost {
+			t.Errorf("workers=%d: final cost %v, workers=1 cost %v", w, cost, refCost)
+		}
+		if table != refTable {
+			t.Errorf("workers=%d: solver table differs from workers=1:\n--- w=%d ---\n%s\n--- w=1 ---\n%s",
+				w, w, table, refTable)
+		}
+	}
+}

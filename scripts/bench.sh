@@ -32,42 +32,77 @@
 #                          postcard-path-path-fallbacks gate the lazy
 #                          master; the two cost/slot series must agree.
 #
-# Usage:  scripts/bench.sh [-o output.json]
-# Env:    BENCH_OUT    output path (default BENCH_<yyyymmdd>.json;
-#                      the -o flag wins over the env var)
-#         BENCH_COUNT  benchmark repetitions per entry (default 3)
+# With -backends the whole suite runs once per LP compute backend (PR 10:
+# "serial" is the bit-identical default, "parallel" fans devex pricing and
+# speculative FTRANs over a worker pool). Backend selection travels through
+# the POSTCARD_LP_BACKEND / POSTCARD_LP_WORKERS environment hooks in
+# bench_test.go, each JSON entry carries its backend, and the header records
+# the host's parallelism (cpus, gomaxprocs) so cross-machine comparisons of
+# the serial-vs-parallel delta stay honest: on a 1-CPU host the parallel
+# backend's workers are oversubscribed and ns/op measures dispatch overhead,
+# not speedup.
+#
+# Usage:  scripts/bench.sh [-o output.json] [-backends serial,parallel]
+# Env:    BENCH_OUT         output path (default BENCH_<yyyymmdd>.json;
+#                           the -o flag wins over the env var)
+#         BENCH_COUNT       benchmark repetitions per entry (default 3)
+#         BENCH_LP_WORKERS  worker-pool size for non-serial backends
+#                           (default 0 = one worker per GOMAXPROCS)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${BENCH_OUT:-BENCH_$(date -u +%Y%m%d).json}"
-while getopts 'o:' opt; do
-  case "$opt" in
-    o) out="$OPTARG" ;;
-    *) echo "usage: scripts/bench.sh [-o output.json]" >&2; exit 2 ;;
+backends=""
+usage() { echo "usage: scripts/bench.sh [-o output.json] [-backends serial,parallel]" >&2; exit 2; }
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    -o)        [ "$#" -ge 2 ] || usage; out="$2"; shift 2 ;;
+    -backends) [ "$#" -ge 2 ] || usage; backends="$2"; shift 2 ;;
+    *) usage ;;
   esac
 done
-shift $((OPTIND - 1))
-if [ "$#" -gt 0 ]; then
-  echo "usage: scripts/bench.sh [-o output.json]" >&2
-  exit 2
-fi
 
 count="${BENCH_COUNT:-3}"
+lp_workers="${BENCH_LP_WORKERS:-0}"
+cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+gomaxprocs="${GOMAXPROCS:-$cpus}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' \
-  -bench '^(BenchmarkFig4|BenchmarkFig4WarmStart|BenchmarkFig5|BenchmarkFig7|BenchmarkPostcardSolve|BenchmarkPoissonAdmission|BenchmarkFig4DC16|BenchmarkFig4DC64|BenchmarkFig4DC128)$' \
-  -benchmem -count "$count" . | tee "$raw"
+run_suite() {
+  go test -run '^$' \
+    -bench '^(BenchmarkFig4|BenchmarkFig4WarmStart|BenchmarkFig5|BenchmarkFig7|BenchmarkPostcardSolve|BenchmarkPoissonAdmission|BenchmarkFig4DC16|BenchmarkFig4DC64|BenchmarkFig4DC128)$' \
+    -benchmem -count "$count" . | tee -a "$raw"
+}
 
-python3 - "$raw" "$out" <<'PYEOF'
+if [ -z "$backends" ]; then
+  run_suite
+else
+  IFS=',' read -ra belist <<<"$backends"
+  for be in "${belist[@]}"; do
+    echo "=== lp-backend: $be ===" | tee -a "$raw"
+    POSTCARD_LP_BACKEND="$be" POSTCARD_LP_WORKERS="$lp_workers" run_suite
+  done
+fi
+
+python3 - "$raw" "$out" "$cpus" "$gomaxprocs" "$backends" <<'PYEOF'
 import json, re, sys, datetime
 
 raw_path, out_path = sys.argv[1], sys.argv[2]
+cpus, gomaxprocs = int(sys.argv[3]), int(sys.argv[4])
+backends = [b for b in sys.argv[5].split(",") if b]
 benches = {}
+order = []
 line_re = re.compile(r'^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$')
+backend_re = re.compile(r'^=== lp-backend: (\S+) ===$')
+backend = None
 for line in open(raw_path):
-    m = line_re.match(line.strip())
+    line = line.strip()
+    bm = backend_re.match(line)
+    if bm:
+        backend = bm.group(1)
+        continue
+    m = line_re.match(line)
     if not m:
         continue
     name, iters, rest = m.group(1), int(m.group(2)), m.group(3)
@@ -82,11 +117,18 @@ for line in open(raw_path):
             run["allocs_per_op"] = v
         else:
             run["metrics"][unit] = v
-    benches.setdefault(name, []).append(run)
+    key = (name, backend)
+    if key not in benches:
+        benches[key] = []
+        order.append(key)
+    benches[key].append(run)
 
 summary = []
-for name, runs in benches.items():
+for name, be in order:
+    runs = benches[(name, be)]
     entry = {"name": name, "runs": runs}
+    if be is not None:
+        entry["lp_backend"] = be
     ns = [r["ns_per_op"] for r in runs if "ns_per_op" in r]
     if ns:
         entry["best_ns_per_op"] = min(ns)
@@ -98,8 +140,13 @@ for name, runs in benches.items():
 doc = {
     "generated_utc": datetime.datetime.now(datetime.timezone.utc)
         .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    # Host parallelism header: the serial-vs-parallel backend delta is only
+    # interpretable next to the core count the worker pool actually had.
+    "host": {"cpus": cpus, "gomaxprocs": gomaxprocs},
     "benchmarks": summary,
 }
+if backends:
+    doc["lp_backends"] = backends
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
